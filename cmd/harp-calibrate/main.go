@@ -1,0 +1,104 @@
+// Command harp-calibrate is the model-calibration probe: for every workload
+// of a platform it prints the baseline configuration (the OS scheduler's
+// default full-machine run) next to the configuration HARP's energy-utility
+// cost ζ would select, with the resulting time and energy ratios. This is
+// the closed-form view behind Figs. 6 and 7 — useful when tuning platform
+// power models or workload parameters.
+//
+// Usage:
+//
+//	harp-calibrate -platform intel
+//	harp-calibrate -platform odroid
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"github.com/harp-rm/harp/internal/opoint"
+	"github.com/harp-rm/harp/internal/platform"
+	"github.com/harp-rm/harp/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "harp-calibrate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("harp-calibrate", flag.ContinueOnError)
+	platName := fs.String("platform", "intel", "intel or odroid")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	plat := platform.Builtin(*platName)
+	if plat == nil {
+		return fmt.Errorf("unknown platform %q", *platName)
+	}
+	suite := workload.IntelApps()
+	if plat.Name == platform.OdroidXU3().Name {
+		suite = workload.OdroidApps()
+	}
+
+	fmt.Fprintf(out, "%-18s %-28s %-28s %7s %7s\n",
+		"app", "baseline (time, energy)", "harp ζ-pick (time, energy)", "t-gain", "e-gain")
+	for _, prof := range suite {
+		base := baselineEval(plat, prof)
+		pick, ev := bestByCost(plat, prof)
+		fmt.Fprintf(out, "%-18s %9.1fs %12.1fJ %-8s %8.1fs %10.1fJ %6.2fx %6.2fx\n",
+			prof.Name, base.TimeSec, base.EnergyJ,
+			pick, ev.TimeSec, ev.EnergyJ,
+			base.TimeSec/ev.TimeSec, base.EnergyJ/ev.EnergyJ)
+	}
+	return nil
+}
+
+// baselineEval is the unmanaged run: the app's default thread count on the
+// full machine (fixed-topology apps occupy only their topology, fastest
+// cores first, as capacity-aware schedulers place them).
+func baselineEval(plat *platform.Platform, prof *workload.Profile) workload.VectorEval {
+	threads := prof.Threads(plat)
+	if threads >= plat.NumHWThreads() {
+		return workload.EvaluateVector(plat, prof, plat.Capacity())
+	}
+	rv := platform.NewResourceVector(plat)
+	remaining := threads
+	for kindIdx, kind := range plat.Kinds {
+		for c := 0; c < kind.Count && remaining > 0; c++ {
+			use := kind.SMT
+			if use > remaining {
+				use = remaining
+			}
+			rv.Counts[kindIdx][use-1]++
+			remaining -= use
+		}
+	}
+	return workload.EvaluateVector(plat, prof, rv)
+}
+
+// bestByCost returns the configuration minimising the energy-utility cost.
+func bestByCost(plat *platform.Platform, prof *workload.Profile) (string, workload.VectorEval) {
+	tbl := opoint.Table{App: prof.Name, Platform: plat.Name}
+	evals := make(map[string]workload.VectorEval)
+	for _, rv := range platform.EnumerateVectors(plat, 0) {
+		ev := workload.EvaluateVector(plat, prof, rv)
+		evals[rv.Key()] = ev
+		tbl.Upsert(opoint.OperatingPoint{Vector: rv, Utility: ev.Utility, Power: ev.PowerWatts})
+	}
+	vstar := tbl.MaxUtility()
+	tbl.Sort()
+	bestKey := ""
+	bestCost := math.Inf(1)
+	for _, op := range tbl.Points {
+		if c := op.Cost(vstar); c < bestCost {
+			bestCost = c
+			bestKey = op.Vector.Key()
+		}
+	}
+	return bestKey, evals[bestKey]
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCalibrateIntel(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-platform", "intel"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"ep.C", "binpack", "t-gain", "e-gain"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// One row per Intel workload plus the header.
+	if got := strings.Count(out, "\n"); got != 18 {
+		t.Errorf("lines = %d, want 18 (header + 17 apps)", got)
+	}
+}
+
+func TestCalibrateOdroid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-platform", "odroid"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "mandelbrot-static") {
+		t.Error("output missing KPN variants")
+	}
+}
+
+func TestCalibrateUnknownPlatform(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-platform", "pluto"}, &buf); err == nil {
+		t.Error("unknown platform accepted")
+	}
+}

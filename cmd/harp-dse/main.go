@@ -1,0 +1,93 @@
+// Command harp-dse performs offline design-space exploration (§3.2.1):
+// it sweeps the coarse configuration space of the given applications on a
+// platform and writes application description files (operating-point tables)
+// suitable for /etc/harp/opoints or for shipping with the application.
+//
+// Usage:
+//
+//	harp-dse -platform intel -apps mg.C,ep.C -out ./opoints
+//	harp-dse -platform odroid -all -out /etc/harp/opoints
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/harp-rm/harp/harpsim"
+	"github.com/harp-rm/harp/internal/platform"
+	"github.com/harp-rm/harp/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "harp-dse:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("harp-dse", flag.ContinueOnError)
+	var (
+		platName = fs.String("platform", "intel", "intel or odroid")
+		appsFlag = fs.String("apps", "", "comma-separated application names")
+		allApps  = fs.Bool("all", false, "explore every workload of the platform's suite")
+		outDir   = fs.String("out", "opoints", "output directory for description files")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	plat := platform.Builtin(*platName)
+	if plat == nil {
+		return fmt.Errorf("unknown platform %q", *platName)
+	}
+	suite := workload.IntelApps()
+	if plat.Name == platform.OdroidXU3().Name {
+		suite = workload.OdroidApps()
+	}
+
+	var apps []*workload.Profile
+	switch {
+	case *allApps:
+		apps = suite
+	case *appsFlag != "":
+		for _, name := range strings.Split(*appsFlag, ",") {
+			p, err := workload.ByName(suite, strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			apps = append(apps, p)
+		}
+	default:
+		return errors.New("pass -apps or -all")
+	}
+
+	tables := harpsim.OfflineDSETables(plat, apps)
+	for app, tbl := range tables {
+		tbl.Sort()
+		path := filepath.Join(*outDir, sanitise(app)+".json")
+		if err := tbl.SaveFile(path); err != nil {
+			return err
+		}
+		front := tbl.ParetoPoints()
+		fmt.Fprintf(out, "%-20s %4d operating points (%d Pareto-optimal) → %s\n",
+			app, len(tbl.Points), len(front), path)
+	}
+	return nil
+}
+
+// sanitise makes an application name filesystem-friendly.
+func sanitise(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case '/', '\\', ':':
+			return '_'
+		default:
+			return r
+		}
+	}, name)
+}

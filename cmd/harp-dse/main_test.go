@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/harp-rm/harp/internal/opoint"
+	"github.com/harp-rm/harp/internal/platform"
+)
+
+func TestDSEGeneratesDescriptions(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	err := run([]string{"-platform", "odroid", "-apps", "mg.A,lms", "-out", dir}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat := platform.OdroidXU3()
+	for _, name := range []string{"mg.A", "lms"} {
+		tbl, err := opoint.LoadFile(filepath.Join(dir, name+".json"))
+		if err != nil {
+			t.Fatalf("load %s: %v", name, err)
+		}
+		if err := tbl.Validate(plat); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if tbl.MeasuredCount() != 24 {
+			t.Errorf("%s: %d points, want the full 24-config Odroid space", name, tbl.MeasuredCount())
+		}
+	}
+	if !strings.Contains(buf.String(), "Pareto-optimal") {
+		t.Errorf("output missing summary: %s", buf.String())
+	}
+}
+
+func TestDSEAllFlag(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run([]string{"-platform", "odroid", "-all", "-out", dir}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 13 {
+		t.Errorf("generated %d descriptions, want 13 (full Odroid suite)", len(files))
+	}
+}
+
+func TestDSEValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-platform", "intel"}, &buf); err == nil {
+		t.Error("missing -apps/-all accepted")
+	}
+	if err := run([]string{"-platform", "venus", "-all"}, &buf); err == nil {
+		t.Error("unknown platform accepted")
+	}
+	if err := run([]string{"-platform", "intel", "-apps", "ghost"}, &buf); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestSanitise(t *testing.T) {
+	tests := []struct{ give, want string }{
+		{"ep.C", "ep.C"},
+		{"a/b:c\\d", "a_b_c_d"},
+	}
+	for _, tt := range tests {
+		if got := sanitise(tt.give); got != tt.want {
+			t.Errorf("sanitise(%q) = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunRequiresCommand(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Error("no command accepted")
+	}
+	if err := run([]string{"bogus"}, &buf); err == nil {
+		t.Error("unknown command accepted")
+	}
+}
+
+func TestListWorkloads(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"ep.C", "binpack", "vgg", "mg.A", "lms-static"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list output missing %q", want)
+		}
+	}
+}
+
+func TestRunScenarioCFS(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"run", "-platform", "intel", "-apps", "is.C", "-policy", "cfs"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"makespan", "energy", "is.C"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q: %s", want, out)
+		}
+	}
+}
+
+func TestRunScenarioHARPOnOdroid(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"run", "-platform", "odroid", "-apps", "mg.A,is.A", "-policy", "harp-offline"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "harp-offline") {
+		t.Errorf("output missing policy: %s", buf.String())
+	}
+}
+
+func TestRunScenarioValidation(t *testing.T) {
+	var buf bytes.Buffer
+	tests := [][]string{
+		{"run", "-platform", "mars", "-apps", "is.C"},
+		{"run", "-platform", "intel"},
+		{"run", "-platform", "intel", "-apps", "no-such-app"},
+		{"run", "-platform", "intel", "-apps", "is.C", "-policy", "magic"},
+	}
+	for _, args := range tests {
+		if err := run(args, &buf); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, name := range []string{"cfs", "eas", "itd", "harp", "harp-offline", "harp-noscaling", "harp-overhead"} {
+		if _, err := parsePolicy(name); err != nil {
+			t.Errorf("parsePolicy(%q): %v", name, err)
+		}
+	}
+	if _, err := parsePolicy("nope"); err == nil {
+		t.Error("parsePolicy(nope) accepted")
+	}
+}
+
+func TestExperimentValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"experiment"}, &buf); err == nil {
+		t.Error("experiment without name accepted")
+	}
+	if err := run([]string{"experiment", "fig99"}, &buf); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestExperimentQuickAttribution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs take seconds")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"experiment", "-quick", "attribution"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "MAPE") {
+		t.Errorf("attribution output incomplete: %s", buf.String())
+	}
+}

@@ -1,0 +1,72 @@
+// Command harpctl inspects a running harpd: it lists registered sessions and
+// dumps learned operating-point tables, the way an administrator would
+// inspect /etc/harp state (§4.3).
+//
+// Usage:
+//
+//	harpctl [-control /tmp/harpctl.sock] sessions
+//	harpctl [-control /tmp/harpctl.sock] table <instance>
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "harpctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("harpctl", flag.ContinueOnError)
+	controlPath := fs.String("control", "/tmp/harpctl.sock", "harpd control socket")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return errors.New("usage: harpctl [-control PATH] sessions | table <instance>")
+	}
+
+	req := map[string]string{"op": rest[0]}
+	switch rest[0] {
+	case "sessions":
+	case "table":
+		if len(rest) != 2 {
+			return errors.New("usage: harpctl table <instance>")
+		}
+		req["instance"] = rest[1]
+	default:
+		return fmt.Errorf("unknown command %q", rest[0])
+	}
+
+	conn, err := net.Dial("unix", *controlPath)
+	if err != nil {
+		return fmt.Errorf("connect to harpd: %w", err)
+	}
+	defer conn.Close()
+	if err := json.NewEncoder(conn).Encode(req); err != nil {
+		return err
+	}
+	var resp map[string]json.RawMessage
+	if err := json.NewDecoder(conn).Decode(&resp); err != nil {
+		return err
+	}
+	if errMsg, ok := resp["error"]; ok {
+		return fmt.Errorf("harpd: %s", errMsg)
+	}
+	pretty, err := json.MarshalIndent(resp, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, string(pretty))
+	return nil
+}

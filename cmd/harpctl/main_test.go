@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fakeHarpd answers control requests the way harpd's control listener does.
+func fakeHarpd(t *testing.T) string {
+	t.Helper()
+	sock := filepath.Join(t.TempDir(), "ctl.sock")
+	ln, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				var req struct {
+					Op       string `json:"op"`
+					Instance string `json:"instance"`
+				}
+				if err := json.NewDecoder(conn).Decode(&req); err != nil {
+					return
+				}
+				enc := json.NewEncoder(conn)
+				switch req.Op {
+				case "sessions":
+					_ = enc.Encode(map[string]any{"sessions": []map[string]string{
+						{"Instance": "ep.C/1", "App": "ep.C"},
+					}})
+				case "table":
+					if req.Instance == "ghost" {
+						_ = enc.Encode(map[string]string{"error": "unknown session"})
+						return
+					}
+					_ = enc.Encode(map[string]any{"table": map[string]any{"app": req.Instance}})
+				default:
+					_ = enc.Encode(map[string]string{"error": "unknown op"})
+				}
+			}()
+		}
+	}()
+	return sock
+}
+
+func TestSessionsCommand(t *testing.T) {
+	sock := fakeHarpd(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-control", sock, "sessions"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ep.C/1") {
+		t.Errorf("output missing session: %s", buf.String())
+	}
+}
+
+func TestTableCommand(t *testing.T) {
+	sock := fakeHarpd(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-control", sock, "table", "ep.C/1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "table") {
+		t.Errorf("output missing table: %s", buf.String())
+	}
+}
+
+func TestServerErrorSurfaces(t *testing.T) {
+	sock := fakeHarpd(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-control", sock, "table", "ghost"}, &buf); err == nil {
+		t.Error("server error not surfaced")
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var buf bytes.Buffer
+	tests := [][]string{
+		nil,
+		{"unknown-cmd"},
+		{"table"}, // missing instance
+	}
+	for _, args := range tests {
+		if err := run(args, &buf); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}
+
+func TestMissingDaemon(t *testing.T) {
+	var buf bytes.Buffer
+	sock := filepath.Join(t.TempDir(), "absent.sock")
+	if err := run([]string{"-control", sock, "sessions"}, &buf); err == nil {
+		t.Error("missing daemon not reported")
+	}
+}

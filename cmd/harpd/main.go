@@ -1,0 +1,136 @@
+// Command harpd runs the HARP resource-manager daemon (§4.3): it listens on
+// a Unix socket for libharp registrations, loads hardware and application
+// descriptions from a /etc/harp-style configuration directory, and exposes a
+// control socket for harpctl.
+//
+// Usage:
+//
+//	harpd -platform intel -socket /run/harp.sock -control /run/harpctl.sock \
+//	      -config /etc/harp [-no-exploration]
+//
+// Without a real perf/RAPL sampler (not available in this repository's
+// offline environment), sessions are driven purely by uploaded operating
+// points and self-reported utility; see package harpsim for the simulated
+// closed loop.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"github.com/harp-rm/harp/harp"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "harpd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("harpd", flag.ContinueOnError)
+	var (
+		platformName  = fs.String("platform", "intel", "built-in platform name or hardware description file")
+		socketPath    = fs.String("socket", "/tmp/harp.sock", "Unix socket for libharp sessions")
+		controlPath   = fs.String("control", "/tmp/harpctl.sock", "Unix socket for harpctl")
+		configDir     = fs.String("config", "", "configuration directory (hardware description, opoints/)")
+		noExploration = fs.Bool("no-exploration", false, "disable online exploration (HARP Offline)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	plat, err := harp.LoadPlatform(*platformName)
+	if err != nil {
+		return err
+	}
+	srv, err := harp.NewServer(harp.ServerConfig{
+		Platform:           plat,
+		ConfigDir:          *configDir,
+		DisableExploration: *noExploration || !plat.SimultaneousPMU,
+	})
+	if err != nil {
+		return err
+	}
+
+	ctl, err := newControlListener(*controlPath, srv)
+	if err != nil {
+		return err
+	}
+	defer ctl.Close()
+	go ctl.serve()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		_ = srv.Close()
+	}()
+
+	fmt.Printf("harpd: managing %s on %s (control %s)\n", plat, *socketPath, *controlPath)
+	return srv.ListenAndServe(*socketPath)
+}
+
+// controlListener answers harpctl queries with JSON lines.
+type controlListener struct {
+	ln  net.Listener
+	srv *harp.Server
+}
+
+func newControlListener(path string, srv *harp.Server) (*controlListener, error) {
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		return nil, err
+	}
+	ln, err := net.Listen("unix", path)
+	if err != nil {
+		return nil, err
+	}
+	return &controlListener{ln: ln, srv: srv}, nil
+}
+
+func (c *controlListener) Close() error { return c.ln.Close() }
+
+func (c *controlListener) serve() {
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		go c.handle(conn)
+	}
+}
+
+// handle answers one request per connection: a JSON object
+// {"op": "sessions"} or {"op": "table", "instance": "..."}.
+func (c *controlListener) handle(conn net.Conn) {
+	defer conn.Close()
+	var req struct {
+		Op       string `json:"op"`
+		Instance string `json:"instance"`
+	}
+	dec := json.NewDecoder(conn)
+	enc := json.NewEncoder(conn)
+	if err := dec.Decode(&req); err != nil {
+		_ = enc.Encode(map[string]string{"error": err.Error()})
+		return
+	}
+	switch req.Op {
+	case "sessions":
+		_ = enc.Encode(map[string]any{"sessions": c.srv.Sessions()})
+	case "table":
+		tbl, err := c.srv.TableSnapshot(req.Instance)
+		if err != nil {
+			_ = enc.Encode(map[string]string{"error": err.Error()})
+			return
+		}
+		_ = enc.Encode(map[string]any{"table": tbl})
+	default:
+		_ = enc.Encode(map[string]string{"error": "unknown op " + req.Op})
+	}
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"encoding/json"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/harp-rm/harp/harp"
+	"github.com/harp-rm/harp/internal/platform"
+)
+
+// startDaemonPieces brings up the server + control listener the way main()
+// does, on temp sockets.
+func startDaemonPieces(t *testing.T) (appSock, ctlSock string) {
+	t.Helper()
+	dir := t.TempDir()
+	appSock = filepath.Join(dir, "harp.sock")
+	ctlSock = filepath.Join(dir, "ctl.sock")
+
+	srv, err := harp.NewServer(harp.ServerConfig{
+		Platform:           platform.RaptorLake(),
+		DisableExploration: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := newControlListener(ctlSock, srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go ctl.serve()
+	go func() { _ = srv.ListenAndServe(appSock) }()
+	t.Cleanup(func() {
+		_ = ctl.Close()
+		_ = srv.Close()
+	})
+	waitSock(t, appSock)
+	waitSock(t, ctlSock)
+	return appSock, ctlSock
+}
+
+func waitSock(t *testing.T, path string) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		conn, err := net.Dial("unix", path)
+		if err == nil {
+			conn.Close()
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("socket %s never came up", path)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func controlRequest(t *testing.T, sock string, req map[string]string) map[string]json.RawMessage {
+	t.Helper()
+	conn, err := net.Dial("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := json.NewEncoder(conn).Encode(req); err != nil {
+		t.Fatal(err)
+	}
+	var resp map[string]json.RawMessage
+	if err := json.NewDecoder(conn).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestControlSessionsReflectsClients(t *testing.T) {
+	appSock, ctlSock := startDaemonPieces(t)
+
+	resp := controlRequest(t, ctlSock, map[string]string{"op": "sessions"})
+	if _, ok := resp["sessions"]; !ok {
+		t.Fatalf("sessions missing: %v", resp)
+	}
+
+	client, err := harp.Dial(appSock, harp.Registration{App: "x", PID: 5, Adaptivity: harp.Static})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		resp = controlRequest(t, ctlSock, map[string]string{"op": "sessions"})
+		var sessions []map[string]any
+		if err := json.Unmarshal(resp["sessions"], &sessions); err != nil {
+			t.Fatal(err)
+		}
+		if len(sessions) == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sessions = %v, want one", sessions)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestControlTable(t *testing.T) {
+	appSock, ctlSock := startDaemonPieces(t)
+	client, err := harp.Dial(appSock, harp.Registration{App: "y", PID: 6, Adaptivity: harp.Scalable})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	resp := controlRequest(t, ctlSock, map[string]string{"op": "table", "instance": "y/6"})
+	if _, ok := resp["table"]; !ok {
+		t.Fatalf("table missing: %v", resp)
+	}
+	resp = controlRequest(t, ctlSock, map[string]string{"op": "table", "instance": "ghost"})
+	if _, ok := resp["error"]; !ok {
+		t.Fatalf("error missing for unknown instance: %v", resp)
+	}
+}
+
+func TestControlUnknownOp(t *testing.T) {
+	_, ctlSock := startDaemonPieces(t)
+	resp := controlRequest(t, ctlSock, map[string]string{"op": "frobnicate"})
+	if _, ok := resp["error"]; !ok {
+		t.Fatalf("unknown op not rejected: %v", resp)
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	if err := run([]string{"-platform", "does-not-exist"}); err == nil {
+		t.Error("unknown platform accepted")
+	}
+}

@@ -1,0 +1,109 @@
+// Quickstart: run a HARP resource manager in-process, register an
+// application through libharp, upload its operating-point description, and
+// receive the allocation decision — the full two-way protocol of Fig. 3 over
+// a real Unix socket.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/harp-rm/harp/harp"
+	"github.com/harp-rm/harp/harpsim"
+	"github.com/harp-rm/harp/internal/platform"
+	"github.com/harp-rm/harp/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// 1. The resource manager. A production deployment runs `harpd`; here
+	// we embed the server. The Odroid-style configuration (no simultaneous
+	// PMU access) would force DisableExploration; the Intel platform could
+	// explore online given a perf/RAPL sampler.
+	plat := platform.RaptorLake()
+	srv, err := harp.NewServer(harp.ServerConfig{
+		Platform:           plat,
+		DisableExploration: true, // knowledge comes from the uploaded description
+	})
+	if err != nil {
+		return err
+	}
+	sock := filepath.Join(os.TempDir(), fmt.Sprintf("harp-quickstart-%d.sock", os.Getpid()))
+	go func() {
+		if err := srv.ListenAndServe(sock); err != nil {
+			fmt.Fprintln(os.Stderr, "server:", err)
+		}
+	}()
+	defer srv.Close()
+	waitForSocket(sock)
+
+	// 2. The application side: libharp registers a scalable application
+	// (think OpenMP) and installs the adaptation callback.
+	activations := make(chan harp.Activation, 8)
+	client, err := harp.Dial(sock, harp.Registration{
+		App:        "mg.C",
+		Adaptivity: harp.Scalable,
+		OnActivate: func(a harp.Activation) { activations <- a },
+	})
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	fmt.Println("registered as", client.SessionID())
+
+	// 3. Upload the application description (normally shipped with the app
+	// or produced by `harp-dse`). mg is memory-bound, so HARP should steer
+	// it to E-cores.
+	prof, err := workload.ByName(workload.IntelApps(), "mg.C")
+	if err != nil {
+		return err
+	}
+	table := harpsim.OfflineDSETables(plat, []*workload.Profile{prof})["mg.C"]
+	var desc bytes.Buffer
+	if err := table.Save(&desc); err != nil {
+		return err
+	}
+	if err := client.UploadDescription(&desc); err != nil {
+		return err
+	}
+
+	// 4. React to decisions the way libharp's OpenMP hook would: match the
+	// worker count to the granted hardware threads.
+	timeout := time.After(3 * time.Second)
+	for i := 0; i < 2; i++ { // initial decision + post-upload decision
+		select {
+		case a := <-activations:
+			fmt.Printf("activation #%d: vector %s → %d threads on %d cores (co-allocated: %v)\n",
+				a.Seq, a.VectorKey, a.Threads, len(a.Cores), a.CoAllocated)
+			eCores := 0
+			for _, g := range a.Cores {
+				if g.Core >= 8 { // cores 8–23 are the E-cores on this machine
+					eCores++
+				}
+			}
+			fmt.Printf("  → adapting: set OMP_NUM_THREADS=%d (%d of the cores are E-cores)\n",
+				a.Threads, eCores)
+		case <-timeout:
+			return fmt.Errorf("no activation received")
+		}
+	}
+	return nil
+}
+
+func waitForSocket(path string) {
+	for i := 0; i < 200; i++ {
+		if _, err := os.Stat(path); err == nil {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/harp-rm/harp
+
+go 1.23

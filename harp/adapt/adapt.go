@@ -1,0 +1,79 @@
+// Package adapt provides libharp's built-in adapters for common programming
+// models (§4.1.3–§4.1.4): small composable callbacks that translate an RM
+// activation into runtime-specific knob updates, the way the paper's libharp
+// hooks GOMP_parallel for OpenMP, the task-arena size for Intel TBB, and the
+// thread-pool size of the TensorFlow Lite wrapper.
+package adapt
+
+import "github.com/harp-rm/harp/harp"
+
+// Scalable matches a runtime's worker count to the granted hardware threads
+// — the malleability knob libharp adds to moldable OpenMP/TBB/TensorFlow
+// applications. apply receives the new parallelisation degree; it is not
+// called for activations that leave the degree unchanged (Threads = 0).
+func Scalable(apply func(threads int)) func(harp.Activation) {
+	return func(a harp.Activation) {
+		if a.Threads > 0 {
+			apply(a.Threads)
+		}
+	}
+}
+
+// CoreSet passes the granted physical core list to apply — the affinity
+// restriction every adaptivity class supports, including static
+// applications (§4.1.3).
+func CoreSet(apply func(cores []int)) func(harp.Activation) {
+	return func(a harp.Activation) {
+		cores := make([]int, 0, len(a.Cores))
+		for _, g := range a.Cores {
+			cores = append(cores, g.Core)
+		}
+		apply(cores)
+	}
+}
+
+// CoAllocationWarning invokes apply with true while the application is
+// co-allocated (time-sharing cores with others) and false when it regains
+// exclusive resources — applications may e.g. disable busy-waiting then.
+func CoAllocationWarning(apply func(coAllocated bool)) func(harp.Activation) {
+	return func(a harp.Activation) {
+		apply(a.CoAllocated)
+	}
+}
+
+// FineGrained resolves the activation against the application's fine-grained
+// configurations (§4.1.2): onPoint receives the matching point, onCoarse is
+// the fallback when no fine-grained point exists for the activated vector.
+// Invalid pins are treated as "no point" after reporting through onError
+// (which may be nil).
+func FineGrained(set harp.FineGrainedSet, onPoint func(harp.FineGrainedPoint), onCoarse func(harp.Activation), onError func(error)) func(harp.Activation) {
+	return func(a harp.Activation) {
+		p, ok, err := set.Select(a)
+		if err != nil {
+			if onError != nil {
+				onError(err)
+			}
+			ok = false
+		}
+		if ok {
+			if onPoint != nil {
+				onPoint(p)
+			}
+			return
+		}
+		if onCoarse != nil {
+			onCoarse(a)
+		}
+	}
+}
+
+// Combined chains adapters: every callback sees every activation, in order.
+func Combined(fns ...func(harp.Activation)) func(harp.Activation) {
+	return func(a harp.Activation) {
+		for _, fn := range fns {
+			if fn != nil {
+				fn(a)
+			}
+		}
+	}
+}

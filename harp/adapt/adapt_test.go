@@ -1,0 +1,171 @@
+package adapt
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/harp-rm/harp/harp"
+)
+
+func activation() harp.Activation {
+	return harp.Activation{
+		Seq:       3,
+		VectorKey: "1,1|2",
+		Threads:   5,
+		Cores: []harp.CoreGrant{
+			{Core: 0, Threads: 1},
+			{Core: 1, Threads: 2},
+			{Core: 8, Threads: 1},
+			{Core: 9, Threads: 1},
+		},
+	}
+}
+
+func TestScalable(t *testing.T) {
+	var got []int
+	fn := Scalable(func(n int) { got = append(got, n) })
+	fn(activation())
+	a := activation()
+	a.Threads = 0 // unchanged → no call
+	fn(a)
+	if len(got) != 1 || got[0] != 5 {
+		t.Fatalf("applied threads = %v, want [5]", got)
+	}
+}
+
+func TestCoreSet(t *testing.T) {
+	var got []int
+	CoreSet(func(cores []int) { got = cores })(activation())
+	want := []int{0, 1, 8, 9}
+	if len(got) != len(want) {
+		t.Fatalf("cores = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cores = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCoAllocationWarning(t *testing.T) {
+	var states []bool
+	fn := CoAllocationWarning(func(c bool) { states = append(states, c) })
+	a := activation()
+	a.CoAllocated = true
+	fn(a)
+	a.CoAllocated = false
+	fn(a)
+	if len(states) != 2 || !states[0] || states[1] {
+		t.Fatalf("states = %v, want [true false]", states)
+	}
+}
+
+func TestFineGrainedDispatch(t *testing.T) {
+	set := harp.FineGrainedSet{
+		"1,1|2": {
+			VectorKey: "1,1|2",
+			Pins:      []harp.ThreadPin{{Thread: 0, Grant: 1, HWThread: 1}},
+			Knobs:     map[string]float64{"region-width": 4},
+		},
+	}
+	var fine *harp.FineGrainedPoint
+	var coarse *harp.Activation
+	fn := FineGrained(set,
+		func(p harp.FineGrainedPoint) { fine = &p },
+		func(a harp.Activation) { coarse = &a },
+		nil)
+
+	fn(activation())
+	if fine == nil || fine.Knobs["region-width"] != 4 {
+		t.Fatalf("fine-grained point not dispatched: %+v", fine)
+	}
+	if coarse != nil {
+		t.Fatal("coarse fallback fired despite a matching point")
+	}
+
+	fine = nil
+	other := activation()
+	other.VectorKey = "0,0|4"
+	fn(other)
+	if fine != nil || coarse == nil {
+		t.Fatalf("coarse fallback not taken for unknown vector")
+	}
+}
+
+func TestFineGrainedInvalidPinsFallBack(t *testing.T) {
+	set := harp.FineGrainedSet{
+		"1,1|2": {
+			VectorKey: "1,1|2",
+			Pins:      []harp.ThreadPin{{Thread: 0, Grant: 99, HWThread: 0}},
+		},
+	}
+	var gotErr error
+	var coarse bool
+	fn := FineGrained(set, nil, func(harp.Activation) { coarse = true }, func(err error) { gotErr = err })
+	fn(activation())
+	if gotErr == nil || !coarse {
+		t.Fatalf("invalid pins: err=%v coarse=%v, want error + coarse fallback", gotErr, coarse)
+	}
+}
+
+func TestCombined(t *testing.T) {
+	var order []string
+	fn := Combined(
+		func(harp.Activation) { order = append(order, "a") },
+		nil,
+		func(harp.Activation) { order = append(order, "b") },
+	)
+	fn(activation())
+	if strings.Join(order, "") != "ab" {
+		t.Fatalf("order = %v, want [a b]", order)
+	}
+}
+
+func TestFineGrainedSelectValidation(t *testing.T) {
+	a := activation()
+	tests := []struct {
+		name string
+		pin  harp.ThreadPin
+	}{
+		{"negative thread", harp.ThreadPin{Thread: -1}},
+		{"grant out of range", harp.ThreadPin{Thread: 0, Grant: 4}},
+		{"hw thread out of range", harp.ThreadPin{Thread: 0, Grant: 0, HWThread: 1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			set := harp.FineGrainedSet{a.VectorKey: {VectorKey: a.VectorKey, Pins: []harp.ThreadPin{tt.pin}}}
+			if _, _, err := set.Select(a); err == nil {
+				t.Fatal("invalid pin accepted")
+			}
+		})
+	}
+	// Valid pin on the SMT core's second hardware thread.
+	set := harp.FineGrainedSet{a.VectorKey: {
+		VectorKey: a.VectorKey,
+		Pins:      []harp.ThreadPin{{Thread: 2, Grant: 1, HWThread: 1}},
+	}}
+	if _, ok, err := set.Select(a); err != nil || !ok {
+		t.Fatalf("valid pin rejected: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestLoadFineGrained(t *testing.T) {
+	good := `[{"vectorKey":"1,1|2","pins":[{"thread":0,"grant":0,"hwThread":0}],"knobs":{"w":2}}]`
+	set, err := harp.LoadFineGrained(strings.NewReader(good))
+	if err != nil {
+		t.Fatalf("LoadFineGrained: %v", err)
+	}
+	if len(set) != 1 || set["1,1|2"].Knobs["w"] != 2 {
+		t.Fatalf("set = %+v", set)
+	}
+	for _, bad := range []string{
+		`nope`,
+		`[{"pins":[]}]`,                         // missing vector key
+		`[{"vectorKey":"a"},{"vectorKey":"a"}]`, // duplicate
+		`[{"vectorKey":"a","bogus":1}]`,         // unknown field
+	} {
+		if _, err := harp.LoadFineGrained(strings.NewReader(bad)); err == nil {
+			t.Errorf("LoadFineGrained(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package harp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+
+	"github.com/harp-rm/harp/internal/opoint"
+	"github.com/harp-rm/harp/internal/proto"
+)
+
+// Registration describes the application to the resource manager (§4.1.1
+// step 1).
+type Registration struct {
+	// App is the application name, matched against description files.
+	App string
+	// PID identifies the process; 0 uses os.Getpid().
+	PID int
+	// Adaptivity is the application's adaptivity class.
+	Adaptivity Adaptivity
+	// OwnUtility announces that the application will report its own utility
+	// metric via ReportUtility (§4.2.1).
+	OwnUtility bool
+	// OnActivate is invoked (from the client's reader goroutine) for every
+	// allocation decision pushed by the RM. libharp's built-in adapters
+	// call runtime hooks here; custom applications install their own
+	// callbacks (§4.1.4).
+	OnActivate func(Activation)
+	// OnUtilityRequest, when set, answers the RM's periodic utility polls
+	// (§4.1.1 step 4) with the application's current utility metric. Only
+	// meaningful together with OwnUtility; applications may instead push
+	// updates proactively via ReportUtility.
+	OnUtilityRequest func() float64
+}
+
+// ErrRegistrationRejected is returned by Dial when the RM refuses the
+// session.
+var ErrRegistrationRejected = errors.New("harp: registration rejected")
+
+// Client is a libharp session with the resource manager.
+type Client struct {
+	conn net.Conn
+
+	writeMu sync.Mutex
+	session string
+
+	onActivate func(Activation)
+	onUtility  func() float64
+
+	mu         sync.Mutex
+	activation *Activation
+
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+// Dial connects to the RM's Unix socket and registers the application. It
+// blocks until the RM acknowledges the registration.
+func Dial(socketPath string, reg Registration) (*Client, error) {
+	if reg.App == "" {
+		return nil, errors.New("harp: registration without application name")
+	}
+	if !reg.Adaptivity.Valid() {
+		return nil, fmt.Errorf("harp: invalid adaptivity %q", reg.Adaptivity)
+	}
+	if reg.PID == 0 {
+		reg.PID = os.Getpid()
+	}
+	conn, err := net.Dial("unix", socketPath)
+	if err != nil {
+		return nil, fmt.Errorf("harp: dial RM: %w", err)
+	}
+	if err := proto.Write(conn, proto.MsgRegister, proto.Register{
+		PID:        reg.PID,
+		App:        reg.App,
+		Adaptivity: string(reg.Adaptivity),
+		OwnUtility: reg.OwnUtility,
+	}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	env, err := proto.Read(conn)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("harp: waiting for registration ack: %w", err)
+	}
+	var ack proto.RegisterAck
+	if err := proto.DecodeBody(env, proto.MsgRegisterAck, &ack); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if !ack.OK {
+		conn.Close()
+		return nil, fmt.Errorf("%w: %s", ErrRegistrationRejected, ack.Error)
+	}
+
+	c := &Client{
+		conn:       conn,
+		session:    ack.SessionID,
+		onActivate: reg.OnActivate,
+		onUtility:  reg.OnUtilityRequest,
+		done:       make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// SessionID returns the RM-assigned session identifier.
+func (c *Client) SessionID() string { return c.session }
+
+// Activation returns the most recent allocation decision, if any.
+func (c *Client) Activation() (Activation, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.activation == nil {
+		return Activation{}, false
+	}
+	return *c.activation, true
+}
+
+// UploadDescription sends an application description file's operating
+// points to the RM (§4.1.1 step 2). The reader must yield the JSON format of
+// opoint.Table.
+func (c *Client) UploadDescription(r io.Reader) error {
+	tbl, err := opoint.Load(r)
+	if err != nil {
+		return err
+	}
+	return c.write(proto.MsgOperatingPoints, proto.OperatingPoints{Table: *tbl})
+}
+
+// UploadDescriptionFile sends the description at path.
+func (c *Client) UploadDescriptionFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("harp: %w", err)
+	}
+	defer f.Close()
+	return c.UploadDescription(f)
+}
+
+// ReportUtility pushes an application-specific utility sample (§4.1.1
+// step 4). Only meaningful for sessions registered with OwnUtility.
+func (c *Client) ReportUtility(utility float64) error {
+	seq := 0
+	if act, ok := c.Activation(); ok {
+		seq = act.Seq
+	}
+	return c.write(proto.MsgUtilityReport, proto.UtilityReport{Seq: seq, Utility: utility})
+}
+
+// NotifyPhase announces a transition to a new execution stage with distinct
+// performance-energy characteristics — the interface extension from the
+// paper's outlook (§7). The RM discards stale smoothed state and reassesses
+// the allocation for the new phase.
+func (c *Client) NotifyPhase(phase string) error {
+	return c.write(proto.MsgPhaseChange, proto.PhaseChange{Phase: phase})
+}
+
+// Close deregisters gracefully and releases the connection.
+func (c *Client) Close() error {
+	var err error
+	c.stopOnce.Do(func() {
+		err = c.write(proto.MsgExit, nil)
+		c.conn.Close()
+		<-c.done
+	})
+	return err
+}
+
+// Done is closed when the RM connection ends (server shutdown or Close).
+func (c *Client) Done() <-chan struct{} { return c.done }
+
+func (c *Client) write(typ proto.MsgType, body any) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	return proto.Write(c.conn, typ, body)
+}
+
+// readLoop handles RM pushes until the connection ends.
+func (c *Client) readLoop() {
+	defer close(c.done)
+	for {
+		env, err := proto.Read(c.conn)
+		if err != nil {
+			return
+		}
+		switch env.Type {
+		case proto.MsgActivate:
+			var act proto.Activate
+			if err := proto.DecodeBody(env, proto.MsgActivate, &act); err != nil {
+				continue
+			}
+			pub := Activation{
+				Seq:         act.Seq,
+				VectorKey:   act.VectorKey,
+				Threads:     act.Threads,
+				CoAllocated: act.CoAllocated,
+			}
+			for _, g := range act.Cores {
+				pub.Cores = append(pub.Cores, CoreGrant{Core: g.Core, Threads: g.Threads})
+			}
+			c.mu.Lock()
+			c.activation = &pub
+			c.mu.Unlock()
+			if c.onActivate != nil {
+				c.onActivate(pub)
+			}
+		case proto.MsgUtilityRequest:
+			// Answer the RM's poll with the application's current utility
+			// (§4.1.1 step 4). Without a callback the poll is ignored; the
+			// application may still push reports proactively.
+			if c.onUtility != nil {
+				_ = c.ReportUtility(c.onUtility())
+			}
+		default:
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package harp
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// FineGrainedPoint is the application-side half of a fine-grained operating
+// point (§4.1.2): while the RM only ever sees the extended resource vector,
+// the application keeps, per vector, its detailed configuration — explicit
+// thread-to-core pins within the granted allocation and values for its
+// adaptivity knobs. Custom applications look the activated vector up in
+// their FineGrainedSet and reconfigure accordingly.
+type FineGrainedPoint struct {
+	// VectorKey identifies the coarse operating point this configuration
+	// belongs to (platform.ResourceVector key form, e.g. "1,2|4").
+	VectorKey string `json:"vectorKey"`
+	// Pins maps application threads onto the granted cores: Pins[i] places
+	// thread i. Missing threads float freely within the allocation.
+	Pins []ThreadPin `json:"pins,omitempty"`
+	// Knobs holds application-specific adaptivity-knob values for this
+	// configuration (parallel-region widths, algorithm selectors, …).
+	Knobs map[string]float64 `json:"knobs,omitempty"`
+}
+
+// ThreadPin places one application thread on one hardware thread of a
+// granted core. Grant indexes Activation.Cores; HWThread selects the sibling
+// within that core (0-based, < CoreGrant.Threads).
+type ThreadPin struct {
+	Thread   int `json:"thread"`
+	Grant    int `json:"grant"`
+	HWThread int `json:"hwThread"`
+}
+
+// FineGrainedSet is an application's fine-grained configurations keyed by
+// vector key. It typically ships in the application description next to the
+// coarse operating points.
+type FineGrainedSet map[string]FineGrainedPoint
+
+// LoadFineGrained reads a JSON array of FineGrainedPoints.
+func LoadFineGrained(r io.Reader) (FineGrainedSet, error) {
+	var points []FineGrainedPoint
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&points); err != nil {
+		return nil, fmt.Errorf("harp: decode fine-grained points: %w", err)
+	}
+	set := make(FineGrainedSet, len(points))
+	for _, p := range points {
+		if p.VectorKey == "" {
+			return nil, errors.New("harp: fine-grained point without vector key")
+		}
+		if _, dup := set[p.VectorKey]; dup {
+			return nil, fmt.Errorf("harp: duplicate fine-grained point for %q", p.VectorKey)
+		}
+		set[p.VectorKey] = p
+	}
+	return set, nil
+}
+
+// Select resolves the fine-grained configuration for an activation and
+// validates its pins against the granted cores. ok is false when the
+// application has no fine-grained point for the activated vector — it should
+// then fall back to coarse behaviour (uniform distribution, §4.1.2).
+func (s FineGrainedSet) Select(a Activation) (FineGrainedPoint, bool, error) {
+	p, ok := s[a.VectorKey]
+	if !ok {
+		return FineGrainedPoint{}, false, nil
+	}
+	for _, pin := range p.Pins {
+		if pin.Thread < 0 {
+			return FineGrainedPoint{}, false, fmt.Errorf("harp: pin with negative thread %d", pin.Thread)
+		}
+		if pin.Grant < 0 || pin.Grant >= len(a.Cores) {
+			return FineGrainedPoint{}, false, fmt.Errorf(
+				"harp: pin for thread %d references grant %d of %d", pin.Thread, pin.Grant, len(a.Cores))
+		}
+		if g := a.Cores[pin.Grant]; pin.HWThread < 0 || pin.HWThread >= g.Threads {
+			return FineGrainedPoint{}, false, fmt.Errorf(
+				"harp: pin for thread %d references hw thread %d of core %d (granted %d)",
+				pin.Thread, pin.HWThread, g.Core, g.Threads)
+		}
+	}
+	return p, true, nil
+}

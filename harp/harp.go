@@ -1,0 +1,83 @@
+// Package harp is the public API of the HARP middleware: a resource-manager
+// server (the HARP RM of §4) and a lightweight client library (libharp,
+// §4.1) that communicate over Unix domain sockets with the two-way protocol
+// of Fig. 3 — applications register, optionally upload operating-point
+// descriptions and utility metrics, and receive allocation decisions they
+// adapt to.
+//
+// The package contains no simulation: it is the middleware a real deployment
+// would run, with measurement acquisition abstracted behind the Sampler
+// interface (Linux perf + RAPL in production, the simulator in this
+// repository's experiments — see package harpsim).
+package harp
+
+import (
+	"fmt"
+
+	"github.com/harp-rm/harp/internal/workload"
+)
+
+// Adaptivity is an application's adaptivity class (§4.1.3).
+type Adaptivity string
+
+// Adaptivity classes.
+const (
+	// Static applications cannot adapt; HARP only restricts their core set.
+	Static Adaptivity = "static"
+	// Scalable applications can change their parallelisation degree
+	// (OpenMP, TBB, the TensorFlow wrapper).
+	Scalable Adaptivity = "scalable"
+	// Custom applications register their own adaptation callbacks (KPNs,
+	// algorithm switching).
+	Custom Adaptivity = "custom"
+)
+
+// Valid reports whether the adaptivity class is known.
+func (a Adaptivity) Valid() bool {
+	switch a {
+	case Static, Scalable, Custom:
+		return true
+	default:
+		return false
+	}
+}
+
+// internal converts to the workload enum used by the resource manager.
+func (a Adaptivity) internal() (workload.Adaptivity, error) {
+	switch a {
+	case Static:
+		return workload.Static, nil
+	case Scalable:
+		return workload.Scalable, nil
+	case Custom:
+		return workload.Custom, nil
+	default:
+		return 0, fmt.Errorf("harp: unknown adaptivity %q", a)
+	}
+}
+
+// CoreGrant assigns one physical core with a number of hardware threads.
+type CoreGrant struct {
+	// Core is the global physical core index.
+	Core int `json:"core"`
+	// Threads is how many of the core's hardware threads may be used.
+	Threads int `json:"threads"`
+}
+
+// Activation is an allocation decision pushed to an application (§4.1.1
+// step 3). The application should restrict itself to the granted cores and,
+// if it can, match its parallelism to Threads.
+type Activation struct {
+	// Seq orders activations.
+	Seq int `json:"seq"`
+	// VectorKey is the canonical form of the extended resource vector, e.g.
+	// "1,2|4" for 1 P-core on one hardware thread, 2 on both, 4 E-cores.
+	VectorKey string `json:"vectorKey"`
+	// Threads is the suggested parallelisation degree (0 = unchanged).
+	Threads int `json:"threads"`
+	// Cores are the concrete cores granted.
+	Cores []CoreGrant `json:"cores"`
+	// CoAllocated warns that the cores are time-shared with other
+	// applications (the machine is over-committed).
+	CoAllocated bool `json:"coAllocated,omitempty"`
+}

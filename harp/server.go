@@ -1,0 +1,400 @@
+package harp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"github.com/harp-rm/harp/internal/core"
+	"github.com/harp-rm/harp/internal/explore"
+	"github.com/harp-rm/harp/internal/opoint"
+	"github.com/harp-rm/harp/internal/platform"
+	"github.com/harp-rm/harp/internal/proto"
+)
+
+// DefaultMeasureEvery is the monitoring cadence (§5.3: 50 ms).
+const DefaultMeasureEvery = 50 * time.Millisecond
+
+// Sampler supplies per-application utility and power measurements for
+// sessions that do not report their own utility. A production deployment
+// backs this with Linux perf (IPS) and RAPL-based attribution; tests and
+// experiments back it with the simulator.
+type Sampler interface {
+	// Sample returns the application's current utility (e.g. IPS) and the
+	// power attributed to it, identified by the PID it registered with.
+	Sample(pid int) (utility, power float64, err error)
+}
+
+// ServerConfig configures a resource-manager server.
+type ServerConfig struct {
+	// Platform is the hardware description (required). Deployments load it
+	// from the description file in ConfigDir; embedders may pass one of the
+	// built-ins via LoadPlatform.
+	Platform *platform.Platform
+	// ConfigDir optionally points at a /etc/harp-style directory: a
+	// hardware.json description and an opoints/ directory of application
+	// description files (§4.3).
+	ConfigDir string
+	// DisableExploration turns off online exploration (mandatory on
+	// platforms without simultaneous PMU access).
+	DisableExploration bool
+	// Sampler supplies measurements; nil means only self-reported utility
+	// drives learning (power-less sessions never leave the initial stage,
+	// so offline tables become the only knowledge source).
+	Sampler Sampler
+	// MeasureEvery overrides the monitoring cadence (0 = 50 ms).
+	MeasureEvery time.Duration
+	// Explore tunes the runtime exploration engine.
+	Explore explore.Config
+}
+
+// LoadPlatform resolves a platform: a built-in name ("intel", "odroid", …)
+// or a path to a hardware description file.
+func LoadPlatform(nameOrPath string) (*platform.Platform, error) {
+	if p := platform.Builtin(nameOrPath); p != nil {
+		return p, nil
+	}
+	return platform.LoadFile(nameOrPath)
+}
+
+// serverSession tracks one connected application.
+type serverSession struct {
+	instance string
+	pid      int
+	own      bool
+
+	mu          sync.Mutex // guards conn writes
+	conn        net.Conn
+	lastUtility float64
+	hasUtility  bool
+	lastReport  time.Time
+
+	// Decisions pushed before the registration ack has been written are
+	// buffered so the client always sees the ack first.
+	ready   bool
+	pending *proto.Activate
+}
+
+// Server is the HARP resource manager daemon: it accepts libharp
+// registrations on a Unix socket, runs the allocation and exploration logic,
+// and pushes activation decisions back to the applications.
+type Server struct {
+	cfg ServerConfig
+
+	mu       sync.Mutex
+	mgr      *core.Manager
+	sessions map[string]*serverSession
+
+	ln     net.Listener
+	stop   chan struct{}
+	done   chan struct{}
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// NewServer creates a server. The configuration directory, when given, is
+// read once at startup.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Platform == nil {
+		return nil, errors.New("harp: server config without platform")
+	}
+	if cfg.MeasureEvery == 0 {
+		cfg.MeasureEvery = DefaultMeasureEvery
+	}
+	var offline map[string]*opoint.Table
+	if cfg.ConfigDir != "" {
+		var err error
+		offline, err = opoint.LoadDir(filepath.Join(cfg.ConfigDir, "opoints"))
+		if err != nil {
+			return nil, err
+		}
+		for app, tbl := range offline {
+			if err := tbl.Validate(cfg.Platform); err != nil {
+				return nil, fmt.Errorf("harp: description for %s: %w", app, err)
+			}
+		}
+	}
+	mgr, err := core.NewManager(core.Config{
+		Platform:           cfg.Platform,
+		Explore:            cfg.Explore,
+		OfflineTables:      offline,
+		DisableExploration: cfg.DisableExploration,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		mgr:      mgr,
+		sessions: make(map[string]*serverSession),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	mgr.OnDecision(s.pushDecision)
+	return s, nil
+}
+
+// ListenAndServe binds the Unix socket at path and serves until Close. A
+// stale socket file is removed first.
+func (s *Server) ListenAndServe(path string) error {
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("harp: remove stale socket: %w", err)
+	}
+	ln, err := net.Listen("unix", path)
+	if err != nil {
+		return fmt.Errorf("harp: listen: %w", err)
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Close. It blocks.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("harp: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	go s.measureLoop()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.stop:
+				return nil
+			default:
+				return fmt.Errorf("harp: accept: %w", err)
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// Close shuts the server down and waits for connection handlers to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+
+	close(s.stop)
+	if ln != nil {
+		_ = ln.Close()
+	}
+	s.wg.Wait()
+	<-s.done
+	return nil
+}
+
+// Sessions returns the registered sessions' summaries (for harpctl).
+func (s *Server) Sessions() []core.SessionInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mgr.Sessions()
+}
+
+// TableSnapshot returns a session's operating-point table (for harpctl).
+func (s *Server) TableSnapshot(instance string) (*opoint.Table, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mgr.Table(instance)
+}
+
+// measureLoop is the 50 ms monitoring cadence.
+func (s *Server) measureLoop() {
+	defer close(s.done)
+	ticker := time.NewTicker(s.cfg.MeasureEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			s.measureOnce()
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+func (s *Server) measureOnce() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := time.Now()
+	for instance, sess := range s.sessions {
+		var utility, power float64
+		var have bool
+		if s.cfg.Sampler != nil {
+			u, p, err := s.cfg.Sampler.Sample(sess.pid)
+			if err == nil {
+				utility, power, have = u, p, true
+			}
+		}
+		if sess.own {
+			sess.mu.Lock()
+			if sess.hasUtility {
+				utility = sess.lastUtility
+				if s.cfg.Sampler == nil {
+					have = power > 0
+				} else {
+					have = true
+				}
+			}
+			stale := !sess.hasUtility || now.Sub(sess.lastReport) > 4*s.cfg.MeasureEvery
+			var pollErr error
+			if stale && sess.ready {
+				// Periodically request the current utility from libharp
+				// (§4.1.1 step 4) when the application has not pushed one
+				// recently.
+				pollErr = proto.Write(sess.conn, proto.MsgUtilityRequest, nil)
+			}
+			sess.mu.Unlock()
+			_ = pollErr // broken connections are reaped by the reader
+		}
+		if !have {
+			continue
+		}
+		_ = s.mgr.Measure(instance, utility, power)
+	}
+}
+
+// handleConn runs one application session.
+func (s *Server) handleConn(conn net.Conn) {
+	defer conn.Close()
+
+	env, err := proto.Read(conn)
+	if err != nil {
+		return
+	}
+	var reg proto.Register
+	if err := proto.DecodeBody(env, proto.MsgRegister, &reg); err != nil {
+		_ = proto.Write(conn, proto.MsgRegisterAck, proto.RegisterAck{
+			OK: false, Error: "first message must be a registration",
+		})
+		return
+	}
+	adaptivity, err := Adaptivity(reg.Adaptivity).internal()
+	if err != nil {
+		_ = proto.Write(conn, proto.MsgRegisterAck, proto.RegisterAck{OK: false, Error: err.Error()})
+		return
+	}
+	instance := fmt.Sprintf("%s/%d", reg.App, reg.PID)
+	sess := &serverSession{instance: instance, pid: reg.PID, own: reg.OwnUtility, conn: conn}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.sessions[instance] = sess
+	err = s.mgr.Register(instance, reg.App, adaptivity, reg.OwnUtility)
+	if err != nil {
+		delete(s.sessions, instance)
+	}
+	s.mu.Unlock()
+
+	ack := proto.RegisterAck{SessionID: instance, OK: err == nil}
+	if err != nil {
+		ack.Error = err.Error()
+	}
+	sess.mu.Lock()
+	writeErr := proto.Write(conn, proto.MsgRegisterAck, ack)
+	if writeErr == nil && sess.pending != nil {
+		writeErr = proto.Write(conn, proto.MsgActivate, *sess.pending)
+		sess.pending = nil
+	}
+	sess.ready = true
+	sess.mu.Unlock()
+	if err != nil || writeErr != nil {
+		return
+	}
+
+	defer func() {
+		s.mu.Lock()
+		delete(s.sessions, instance)
+		_ = s.mgr.Deregister(instance)
+		s.mu.Unlock()
+	}()
+
+	for {
+		env, err := proto.Read(conn)
+		if err != nil {
+			return // EOF or broken peer: deregister via the deferred cleanup
+		}
+		switch env.Type {
+		case proto.MsgOperatingPoints:
+			var up proto.OperatingPoints
+			if err := proto.DecodeBody(env, proto.MsgOperatingPoints, &up); err != nil {
+				continue
+			}
+			s.mu.Lock()
+			_ = s.mgr.UploadTable(instance, &up.Table)
+			s.mu.Unlock()
+		case proto.MsgUtilityReport:
+			var rep proto.UtilityReport
+			if err := proto.DecodeBody(env, proto.MsgUtilityReport, &rep); err != nil {
+				continue
+			}
+			sess.mu.Lock()
+			sess.lastUtility = rep.Utility
+			sess.hasUtility = true
+			sess.lastReport = time.Now()
+			sess.mu.Unlock()
+		case proto.MsgPhaseChange:
+			var pc proto.PhaseChange
+			if err := proto.DecodeBody(env, proto.MsgPhaseChange, &pc); err != nil {
+				continue
+			}
+			s.mu.Lock()
+			_ = s.mgr.PhaseChange(instance, pc.Phase)
+			s.mu.Unlock()
+		case proto.MsgExit:
+			return
+		default:
+			// Unknown message types are ignored for forward compatibility.
+		}
+	}
+}
+
+// pushDecision relays a manager decision to the session's connection.
+// Called with s.mu held (all manager entry points hold it).
+func (s *Server) pushDecision(d core.Decision) {
+	sess, ok := s.sessions[d.Instance]
+	if !ok {
+		return
+	}
+	act := proto.Activate{
+		Seq:         d.Seq,
+		VectorKey:   d.Vector.Key(),
+		Threads:     d.Threads,
+		CoAllocated: d.CoAllocated,
+	}
+	for _, g := range d.Grants {
+		act.Cores = append(act.Cores, proto.CoreGrant{Core: g.Core, Threads: g.Threads})
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if !sess.ready {
+		sess.pending = &act
+		return
+	}
+	if err := proto.Write(sess.conn, proto.MsgActivate, act); err != nil && !errors.Is(err, io.EOF) {
+		// The reader goroutine will notice the broken connection and
+		// deregister; nothing else to do here.
+		return
+	}
+}

@@ -1,0 +1,310 @@
+package harpsim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/harp-rm/harp/internal/core"
+	"github.com/harp-rm/harp/internal/monitor"
+	"github.com/harp-rm/harp/internal/sched"
+	"github.com/harp-rm/harp/internal/sim"
+	"github.com/harp-rm/harp/internal/workload"
+)
+
+// Run executes one scenario under the selected policy and returns its
+// measurements.
+func Run(sc Scenario, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+
+	machine, err := newMachine(sc, opts)
+	if err != nil {
+		return nil, err
+	}
+	var harness *harpHarness
+	if opts.Policy.IsHARP() {
+		harness, err = attachHARP(machine, sc, opts)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	result := &Result{
+		Scenario:       sc.Name,
+		Policy:         opts.Policy,
+		Apps:           make(map[string]AppResult, len(sc.Apps)),
+		StableAfterSec: -1,
+	}
+	machine.OnProcExit(func(p *sim.Proc) {
+		c := p.Counters()
+		ar := AppResult{
+			TimeSec:    (p.FinishedAt() - p.StartedAt()).Seconds(),
+			DynEnergyJ: c.DynEnergyJ,
+		}
+		if harness != nil {
+			ar.AttributedEnergyJ = harness.attributedEnergy(p)
+		}
+		result.Apps[p.Name()] = ar
+		if p.FinishedAt().Seconds() > result.MakespanSec {
+			result.MakespanSec = p.FinishedAt().Seconds()
+		}
+	})
+
+	if err := startApps(machine, sc.Apps); err != nil {
+		return nil, err
+	}
+	if err := machine.RunUntilIdle(opts.Horizon); err != nil {
+		return nil, fmt.Errorf("harpsim: scenario %s under %s: %w", sc.Name, opts.Policy, err)
+	}
+
+	result.EnergyJ = machine.Energy().PackageJ
+	if harness != nil {
+		result.StableAfterSec = harness.stableAtSec
+		result.Timeline = harness.timeline
+	}
+	return result, nil
+}
+
+// newMachine builds the simulator with the policy's OS-level scheduler.
+func newMachine(sc Scenario, opts Options) (*sim.Machine, error) {
+	var scheduler sim.Scheduler
+	switch opts.Policy {
+	case PolicyCFS:
+		scheduler = sched.CFS{}
+	case PolicyEAS:
+		scheduler = sched.EAS{}
+	case PolicyITD:
+		scheduler = sched.ITD{Platform: sc.Platform}
+	case PolicyHARP, PolicyHARPOffline, PolicyHARPNoScaling, PolicyHARPOverhead:
+		// HARP works alongside the regular OS scheduler, restricting
+		// applications via affinity masks (§4.3).
+		scheduler = sched.CFS{}
+	default:
+		return nil, fmt.Errorf("harpsim: unknown policy %d", int(opts.Policy))
+	}
+	return sim.New(sc.Platform, scheduler, sim.WithGovernor(opts.Governor))
+}
+
+// startApps launches every profile with a unique instance name.
+func startApps(machine *sim.Machine, apps []*workload.Profile) error {
+	seen := make(map[string]int, len(apps))
+	for _, prof := range apps {
+		seen[prof.Name]++
+		instance := prof.Name
+		if seen[prof.Name] > 1 {
+			instance = fmt.Sprintf("%s#%d", prof.Name, seen[prof.Name])
+		}
+		if _, err := machine.Start(prof, instance); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// harpHarness wires the HARP resource manager and monitor into a machine:
+// it plays the role of libharp (registration, decision application, utility
+// reporting) for every simulated application.
+type harpHarness struct {
+	machine *sim.Machine
+	mgr     *core.Manager
+	mon     *monitor.Monitor
+	opts    Options
+
+	coreToHW [][]sim.HWThread
+	managed  map[string]*sim.Proc // instance → proc
+	energyAt map[string]float64   // attributed energy of exited procs
+
+	stableAtSec float64
+	timeline    []TimelineEvent
+
+	// repeat-mode state (LearnTables)
+	repeat       bool
+	repeatUntil  time.Duration
+	restartCount map[string]int
+}
+
+// attachHARP connects the RM to a machine.
+func attachHARP(machine *sim.Machine, sc Scenario, opts Options) (*harpHarness, error) {
+	disableExplore := opts.Policy == PolicyHARPOffline || !sc.Platform.SimultaneousPMU
+	mgr, err := core.NewManager(core.Config{
+		Platform:           sc.Platform,
+		Explore:            opts.Explore,
+		OfflineTables:      opts.OfflineTables,
+		DisableExploration: disableExplore,
+		ReallocEvery:       opts.ReallocEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	mon, err := monitor.New(machine, monitor.WithSeed(opts.Seed))
+	if err != nil {
+		return nil, err
+	}
+
+	h := &harpHarness{
+		machine:      machine,
+		mgr:          mgr,
+		mon:          mon,
+		opts:         opts,
+		managed:      make(map[string]*sim.Proc),
+		energyAt:     make(map[string]float64),
+		stableAtSec:  -1,
+		restartCount: make(map[string]int),
+	}
+	h.buildTopology()
+
+	mgr.OnDecision(h.applyDecision)
+	machine.OnProcStart(h.scheduleRegistration)
+	machine.OnProcExit(h.onExit)
+	machine.Every(opts.MeasureEvery, h.measureTick)
+	return h, nil
+}
+
+func (h *harpHarness) buildTopology() {
+	topo := h.machine.Topology()
+	nCores := 0
+	for _, info := range topo {
+		if info.Core+1 > nCores {
+			nCores = info.Core + 1
+		}
+	}
+	h.coreToHW = make([][]sim.HWThread, nCores)
+	for _, info := range topo {
+		h.coreToHW[info.Core] = append(h.coreToHW[info.Core], info.ID)
+	}
+}
+
+// scheduleRegistration registers the process with the RM after the libharp
+// startup delay — until then the app runs unmanaged, exactly like a process
+// whose library is still initialising.
+func (h *harpHarness) scheduleRegistration(p *sim.Proc) {
+	var cancel func()
+	cancel = h.machine.Every(h.opts.RegistrationDelay, func(time.Duration) {
+		cancel()
+		h.register(p)
+	})
+}
+
+func (h *harpHarness) register(p *sim.Proc) {
+	if p.Done() {
+		return
+	}
+	prof := p.Profile()
+	if err := h.mon.Track(p.ID()); err != nil {
+		return
+	}
+	// Record the instance before registering: the RM pushes the first
+	// decision synchronously from within Register.
+	h.managed[p.Name()] = p
+	if err := h.mgr.Register(p.Name(), prof.Name, prof.Adaptivity, prof.OwnUtility); err != nil {
+		delete(h.managed, p.Name())
+		h.mon.Untrack(p.ID())
+		return
+	}
+	h.retax()
+}
+
+// retax applies the management overhead model to every managed process.
+func (h *harpHarness) retax() {
+	n := len(h.managed)
+	tax := 0.0
+	if n > 0 {
+		tax = h.opts.TaxBase + h.opts.TaxPerApp*float64(n-1)
+	}
+	for _, p := range h.managed {
+		_ = h.machine.SetRateTax(p.ID(), tax)
+	}
+}
+
+// applyDecision is the libharp side of the activation push (§4.1.1 step 3).
+func (h *harpHarness) applyDecision(d core.Decision) {
+	if h.opts.Policy == PolicyHARPOverhead {
+		// §6.6: messages flow but libharp ignores them.
+		return
+	}
+	p, ok := h.managed[d.Instance]
+	if !ok || p.Done() {
+		return
+	}
+	var hws []sim.HWThread
+	for _, g := range d.Grants {
+		if g.Core < 0 || g.Core >= len(h.coreToHW) {
+			continue
+		}
+		siblings := h.coreToHW[g.Core]
+		n := g.Threads
+		if n > len(siblings) {
+			n = len(siblings)
+		}
+		hws = append(hws, siblings[:n]...)
+	}
+	if len(hws) == 0 {
+		return
+	}
+	if err := h.machine.SetAffinity(p.ID(), hws); err != nil {
+		return
+	}
+	h.mon.ResetSmoothing(p.ID())
+	if d.Threads > 0 && h.opts.Policy != PolicyHARPNoScaling {
+		_ = h.machine.SetThreads(p.ID(), d.Threads)
+	}
+	if h.opts.RecordTimeline {
+		h.timeline = append(h.timeline, TimelineEvent{
+			AtSec:       h.machine.Now().Seconds(),
+			Instance:    d.Instance,
+			VectorKey:   d.Vector.Key(),
+			Threads:     d.Threads,
+			Exploring:   d.Exploring,
+			CoAllocated: d.CoAllocated,
+		})
+	}
+}
+
+// measureTick is the 50 ms monitoring cadence: sample every managed app and
+// feed the RM (in deterministic instance order).
+func (h *harpHarness) measureTick(now time.Duration) {
+	samples := h.mon.Sample()
+	instances := make([]string, 0, len(h.managed))
+	for instance := range h.managed {
+		instances = append(instances, instance)
+	}
+	sort.Strings(instances)
+	for _, instance := range instances {
+		p := h.managed[instance]
+		meas, ok := samples[p.ID()]
+		if !ok {
+			continue
+		}
+		prof := p.Profile()
+		utility := meas.SmoothedIPS
+		if prof.OwnUtility {
+			utility = meas.UsefulRate * prof.UtilityScale
+		}
+		_ = h.mgr.Measure(instance, utility, meas.SmoothedPower)
+	}
+	if h.stableAtSec < 0 && len(h.managed) > 0 && h.mgr.AllStable() {
+		h.stableAtSec = now.Seconds()
+	}
+}
+
+func (h *harpHarness) onExit(p *sim.Proc) {
+	if _, ok := h.managed[p.Name()]; ok {
+		h.energyAt[p.Name()] = h.mon.Untrack(p.ID())
+		_ = h.mgr.Deregister(p.Name())
+		delete(h.managed, p.Name())
+		h.retax()
+	}
+	if h.repeat && h.machine.Now() < h.repeatUntil {
+		prof := p.Profile()
+		h.restartCount[prof.Name]++
+		instance := fmt.Sprintf("%s~r%d", prof.Name, h.restartCount[prof.Name])
+		_, _ = h.machine.Start(prof, instance)
+	}
+}
+
+func (h *harpHarness) attributedEnergy(p *sim.Proc) float64 {
+	return h.energyAt[p.Name()]
+}

@@ -1,0 +1,445 @@
+// Package alloc implements HARP's energy-efficient resource allocation
+// (§4.2.2): selecting one operating point per application to minimise the
+// system-wide energy-utility cost (Eq. 1a) subject to the platform's
+// per-kind core capacity (Eq. 1b). The problem is a Multiple-choice
+// Multi-dimensional Knapsack (MMKP); the production solver uses Lagrangian
+// relaxation with a greedy repair phase in the style of Wildermann et al.,
+// and a plain greedy solver is provided as an ablation baseline. When demand
+// exceeds capacity the allocator falls back to co-allocation (§4.2.2,
+// Limitations), marking the affected applications so the resource manager
+// can suspend their performance monitoring.
+package alloc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/harp-rm/harp/internal/opoint"
+	"github.com/harp-rm/harp/internal/platform"
+)
+
+// Method selects the MMKP solver.
+type Method int
+
+// Method values.
+const (
+	// Lagrangian is the production solver (relaxation + repair).
+	Lagrangian Method = iota + 1
+	// Greedy picks min-cost feasible points in application order — the
+	// ablation baseline.
+	Greedy
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case Lagrangian:
+		return "lagrangian"
+	case Greedy:
+		return "greedy"
+	default:
+		return fmt.Sprintf("method(%d)", int(m))
+	}
+}
+
+// AppInput describes one application competing for resources.
+type AppInput struct {
+	// ID identifies the application (its session name).
+	ID string
+	// Table is the application's operating points (measured + predicted).
+	Table *opoint.Table
+	// MaxUtility overrides v* for cost normalisation; 0 derives it from the
+	// table.
+	MaxUtility float64
+}
+
+// CoreGrant assigns one physical core with a number of hardware threads.
+type CoreGrant struct {
+	// Core is the global physical core index.
+	Core int
+	// Threads is how many of the core's hardware threads the application
+	// may use (1 ≤ Threads ≤ SMT).
+	Threads int
+}
+
+// Allocation is the allocator's decision for one application.
+type Allocation struct {
+	// ID echoes the AppInput ID.
+	ID string
+	// Point is the selected operating point.
+	Point opoint.OperatingPoint
+	// Grants lists the concrete cores assigned (spatially isolated unless
+	// CoAllocated).
+	Grants []CoreGrant
+	// CoAllocated marks applications sharing cores with others because
+	// demand exceeded capacity; HARP suspends their monitoring (§5.1).
+	CoAllocated bool
+}
+
+// Allocator solves the operating-point selection and core assignment.
+type Allocator struct {
+	plat   *platform.Platform
+	method Method
+	iters  int
+}
+
+// Option configures an Allocator.
+type Option interface{ apply(*Allocator) }
+
+type optionFunc func(*Allocator)
+
+func (f optionFunc) apply(a *Allocator) { f(a) }
+
+// WithMethod selects the solver (default Lagrangian).
+func WithMethod(m Method) Option {
+	return optionFunc(func(a *Allocator) { a.method = m })
+}
+
+// WithIterations sets the subgradient iteration count (default 60).
+func WithIterations(n int) Option {
+	return optionFunc(func(a *Allocator) { a.iters = n })
+}
+
+// New creates an allocator for the platform.
+func New(plat *platform.Platform, opts ...Option) (*Allocator, error) {
+	if err := plat.Validate(); err != nil {
+		return nil, err
+	}
+	a := &Allocator{plat: plat, method: Lagrangian, iters: 60}
+	for _, o := range opts {
+		o.apply(a)
+	}
+	if a.method != Lagrangian && a.method != Greedy {
+		return nil, fmt.Errorf("alloc: bad method %d", a.method)
+	}
+	if a.iters < 1 {
+		return nil, fmt.Errorf("alloc: iterations %d", a.iters)
+	}
+	return a, nil
+}
+
+// candidate is an operating point with its precomputed cost and demand.
+type candidate struct {
+	op     opoint.OperatingPoint
+	cost   float64
+	demand []int
+}
+
+// appState is the per-application solver view.
+type appState struct {
+	id     string
+	cands  []candidate
+	chosen int // index into cands, -1 = none
+}
+
+// Allocate selects one operating point per application and assigns concrete
+// cores. Every input application receives an allocation; applications that
+// cannot fit are co-allocated on shared cores.
+func (a *Allocator) Allocate(apps []AppInput) ([]Allocation, error) {
+	if len(apps) == 0 {
+		return nil, nil
+	}
+	capacity := make([]int, len(a.plat.Kinds))
+	for k, kind := range a.plat.Kinds {
+		capacity[k] = kind.Count
+	}
+
+	states := make([]*appState, len(apps))
+	for i, app := range apps {
+		if app.Table == nil {
+			return nil, fmt.Errorf("alloc: app %q without operating-point table", app.ID)
+		}
+		st, err := a.buildState(app)
+		if err != nil {
+			return nil, err
+		}
+		states[i] = st
+	}
+
+	switch a.method {
+	case Lagrangian:
+		a.lagrangianSelect(states, capacity)
+	case Greedy:
+		for i := range states {
+			states[i].chosen = -1
+		}
+	}
+	a.repair(states, capacity)
+	a.improve(states, capacity)
+	return a.assignCores(states)
+}
+
+// buildState Pareto-filters the table and precomputes costs.
+func (a *Allocator) buildState(app AppInput) (*appState, error) {
+	if err := app.Table.Validate(a.plat); err != nil {
+		return nil, err
+	}
+	vstar := app.MaxUtility
+	if vstar <= 0 {
+		vstar = app.Table.MaxUtility()
+	}
+	points := app.Table.ParetoPoints()
+	st := &appState{id: app.ID, chosen: -1}
+	for _, op := range points {
+		if op.Vector.IsZero() {
+			continue
+		}
+		cost := op.Cost(vstar)
+		if math.IsInf(cost, 1) || math.IsNaN(cost) {
+			continue
+		}
+		st.cands = append(st.cands, candidate{op: op, cost: cost, demand: op.Vector.CoreDemand()})
+	}
+	if len(st.cands) == 0 {
+		// No usable characteristics yet (fresh application): fall back to a
+		// single core of the most efficient kind so the app can run and be
+		// explored.
+		st.cands = append(st.cands, a.fallbackCandidate())
+	}
+	sort.Slice(st.cands, func(i, j int) bool {
+		if st.cands[i].cost != st.cands[j].cost {
+			return st.cands[i].cost < st.cands[j].cost
+		}
+		return st.cands[i].op.Vector.Key() < st.cands[j].op.Vector.Key()
+	})
+	return st, nil
+}
+
+// fallbackCandidate is one core (one hardware thread) of the most efficient
+// kind with a neutral cost.
+func (a *Allocator) fallbackCandidate() candidate {
+	rv := platform.NewResourceVector(a.plat)
+	kind := len(a.plat.Kinds) - 1
+	rv.Counts[kind][0] = 1
+	return candidate{
+		op:     opoint.OperatingPoint{Vector: rv},
+		cost:   0,
+		demand: rv.CoreDemand(),
+	}
+}
+
+// lagrangianSelect runs the subgradient iteration on the relaxed problem:
+// each application independently minimises cost + λ·demand, and λ rises on
+// over-demanded kinds.
+func (a *Allocator) lagrangianSelect(states []*appState, capacity []int) {
+	nk := len(capacity)
+	lambda := make([]float64, nk)
+
+	// Scale for the multiplier updates: typical cost per core.
+	var costSum, coreSum float64
+	for _, st := range states {
+		for _, c := range st.cands {
+			costSum += c.cost
+			for _, d := range c.demand {
+				coreSum += float64(d)
+			}
+		}
+	}
+	scale := 1.0
+	if coreSum > 0 && costSum > 0 {
+		scale = costSum / coreSum
+	}
+
+	for it := 0; it < a.iters; it++ {
+		demand := make([]int, nk)
+		for _, st := range states {
+			best := 0
+			bestVal := math.Inf(1)
+			for i, c := range st.cands {
+				v := c.cost
+				for k, d := range c.demand {
+					v += lambda[k] * float64(d)
+				}
+				if v < bestVal {
+					bestVal = v
+					best = i
+				}
+			}
+			st.chosen = best
+			for k, d := range st.cands[best].demand {
+				demand[k] += d
+			}
+		}
+		step := scale * 2 / float64(it+2)
+		for k := range lambda {
+			over := float64(demand[k]-capacity[k]) / float64(capacity[k])
+			lambda[k] = math.Max(0, lambda[k]+step*over)
+		}
+	}
+}
+
+// repair makes the relaxed selection feasible: in application order, keep
+// the Lagrangian choice if it fits the remaining capacity, otherwise take
+// the cheapest fitting candidate; applications with no fitting candidate are
+// deferred to co-allocation (chosen stays, CoAllocated set later).
+func (a *Allocator) repair(states []*appState, capacity []int) {
+	remaining := make([]int, len(capacity))
+	copy(remaining, capacity)
+	fits := func(demand []int) bool {
+		for k, d := range demand {
+			if d > remaining[k] {
+				return false
+			}
+		}
+		return true
+	}
+	take := func(demand []int) {
+		for k, d := range demand {
+			remaining[k] -= d
+		}
+	}
+	for _, st := range states {
+		if st.chosen >= 0 && fits(st.cands[st.chosen].demand) {
+			take(st.cands[st.chosen].demand)
+			continue
+		}
+		found := -1
+		for i, c := range st.cands { // cands sorted by cost
+			if fits(c.demand) {
+				found = i
+				break
+			}
+		}
+		if found >= 0 {
+			st.chosen = found
+			take(st.cands[found].demand)
+		} else {
+			// Co-allocation fallback: smallest-demand candidate.
+			st.chosen = smallestDemand(st.cands)
+		}
+	}
+}
+
+// improve performs one sweep trying to move each application to a
+// lower-cost point using leftover capacity.
+func (a *Allocator) improve(states []*appState, capacity []int) {
+	remaining := make([]int, len(capacity))
+	copy(remaining, capacity)
+	for _, st := range states {
+		if st.chosen < 0 {
+			continue
+		}
+		for k, d := range st.cands[st.chosen].demand {
+			remaining[k] -= d
+		}
+	}
+	for k := range remaining {
+		if remaining[k] < 0 {
+			return // co-allocated system; nothing to improve safely
+		}
+	}
+	for _, st := range states {
+		cur := st.cands[st.chosen]
+		for i, c := range st.cands {
+			if i == st.chosen || c.cost >= cur.cost {
+				continue
+			}
+			ok := true
+			for k, d := range c.demand {
+				if d-cur.demand[k] > remaining[k] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				for k, d := range c.demand {
+					remaining[k] -= d - cur.demand[k]
+				}
+				st.chosen = i
+				break
+			}
+		}
+	}
+}
+
+// assignCores maps the selected operating points to concrete, spatially
+// isolated cores; overflow demand is co-allocated round-robin.
+func (a *Allocator) assignCores(states []*appState) ([]Allocation, error) {
+	nextFree := make([]int, len(a.plat.Kinds))
+	out := make([]Allocation, 0, len(states))
+	for _, st := range states {
+		if st.chosen < 0 || st.chosen >= len(st.cands) {
+			return nil, errors.New("alloc: internal: no chosen candidate")
+		}
+		cand := st.cands[st.chosen]
+		alloc := Allocation{ID: st.id, Point: cand.op}
+		for kindIdx, counts := range cand.op.Vector.Counts {
+			lo, hi := a.plat.CoreRange(platform.KindID(kindIdx))
+			total := hi - lo
+			for tIdx, cores := range counts {
+				for c := 0; c < cores; c++ {
+					slot := nextFree[kindIdx]
+					if slot >= total {
+						// Out of isolated cores: wrap around (co-allocation).
+						slot %= total
+						alloc.CoAllocated = true
+					}
+					alloc.Grants = append(alloc.Grants, CoreGrant{
+						Core:    lo + slot,
+						Threads: tIdx + 1,
+					})
+					nextFree[kindIdx]++
+				}
+			}
+		}
+		out = append(out, alloc)
+	}
+	return out, nil
+}
+
+// smallestDemand returns the index of the candidate with the fewest total
+// cores (ties broken by cost, then key; cands are cost-sorted already).
+func smallestDemand(cands []candidate) int {
+	best := 0
+	bestCores := math.MaxInt
+	for i, c := range cands {
+		var cores int
+		for _, d := range c.demand {
+			cores += d
+		}
+		if cores < bestCores {
+			bestCores = cores
+			best = i
+		}
+	}
+	return best
+}
+
+// TotalCost sums the energy-utility cost of the chosen points — handy for
+// solver-quality comparisons in the ablation bench.
+func TotalCost(allocs []Allocation, inputs []AppInput) float64 {
+	vstar := make(map[string]float64, len(inputs))
+	for _, in := range inputs {
+		v := in.MaxUtility
+		if v <= 0 && in.Table != nil {
+			v = in.Table.MaxUtility()
+		}
+		vstar[in.ID] = v
+	}
+	var sum float64
+	for _, al := range allocs {
+		c := al.Point.Cost(vstar[al.ID])
+		if !math.IsInf(c, 1) && !math.IsNaN(c) {
+			sum += c
+		}
+	}
+	return sum
+}
+
+// Overlaps reports whether two allocations share any (core, hardware-thread)
+// pair — used by invariant tests: non-co-allocated allocations must never
+// overlap.
+func Overlaps(a, b Allocation) bool {
+	used := make(map[int]int, len(a.Grants))
+	for _, g := range a.Grants {
+		used[g.Core] = g.Threads
+	}
+	for _, g := range b.Grants {
+		if used[g.Core] > 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,50 @@
+package alloc
+
+import (
+	"testing"
+
+	"github.com/harp-rm/harp/internal/opoint"
+	"github.com/harp-rm/harp/internal/platform"
+	"github.com/harp-rm/harp/internal/workload"
+)
+
+// benchInputs builds a realistic 5-application allocation problem with full
+// 764-point tables — the allocator's production workload on the Intel
+// platform.
+func benchInputs(b *testing.B) (*platform.Platform, []AppInput) {
+	b.Helper()
+	plat := platform.RaptorLake()
+	names := []string{"ep.C", "mg.C", "cg.C", "ft.C", "sp.C"}
+	var inputs []AppInput
+	for _, name := range names {
+		prof, err := workload.ByName(workload.IntelApps(), name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tbl := &opoint.Table{App: name, Platform: plat.Name}
+		for _, rv := range platform.EnumerateVectors(plat, 0) {
+			ev := workload.EvaluateVector(plat, prof, rv)
+			tbl.Upsert(opoint.OperatingPoint{Vector: rv, Utility: ev.Utility, Power: ev.PowerWatts, Measured: true})
+		}
+		inputs = append(inputs, AppInput{ID: name, Table: tbl})
+	}
+	return plat, inputs
+}
+
+func benchmarkAllocate(b *testing.B, method Method) {
+	plat, inputs := benchInputs(b)
+	a, err := New(plat, WithMethod(method))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Allocate(inputs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAllocateLagrangian(b *testing.B) { benchmarkAllocate(b, Lagrangian) }
+
+func BenchmarkAllocateGreedy(b *testing.B) { benchmarkAllocate(b, Greedy) }

@@ -1,0 +1,599 @@
+// Package core implements the HARP resource manager (§4): the paper's
+// primary contribution. A Manager tracks registered applications (sessions),
+// maintains their operating-point tables (offline-supplied or learned online
+// through internal/explore), solves the energy-efficient allocation problem
+// (internal/alloc), and pushes decisions back to applications through a
+// caller-supplied callback — the two-way coordination channel.
+//
+// The Manager is transport- and time-agnostic: the harp package drives it
+// from Unix-socket sessions and wall-clock timers, while harpsim drives it
+// from the simulator's virtual clock. It is not goroutine-safe; the embedding
+// layer serialises calls.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/harp-rm/harp/internal/alloc"
+	"github.com/harp-rm/harp/internal/explore"
+	"github.com/harp-rm/harp/internal/opoint"
+	"github.com/harp-rm/harp/internal/platform"
+	"github.com/harp-rm/harp/internal/workload"
+)
+
+// DefaultReallocEvery is how many stable-stage measurements pass between
+// allocation reassessments (§5.3: every 100 measurements).
+const DefaultReallocEvery = 100
+
+// Common errors.
+var (
+	// ErrUnknownSession is returned for operations on unregistered
+	// instances.
+	ErrUnknownSession = errors.New("core: unknown session")
+	// ErrDuplicateSession is returned when an instance registers twice.
+	ErrDuplicateSession = errors.New("core: session already registered")
+)
+
+// Decision is one allocation pushed to an application (§4.1.1 step 3).
+type Decision struct {
+	// Instance is the registered application instance.
+	Instance string
+	// Seq orders decisions globally.
+	Seq int
+	// Vector is the activated extended resource vector.
+	Vector platform.ResourceVector
+	// Threads is the parallelisation degree for scalable/custom apps
+	// (0 = leave unchanged, used for static apps).
+	Threads int
+	// Grants are the concrete cores assigned.
+	Grants []alloc.CoreGrant
+	// CoAllocated warns that the cores are time-shared with other apps.
+	CoAllocated bool
+	// Exploring marks an exploration configuration rather than a
+	// cost-optimal stable allocation.
+	Exploring bool
+}
+
+// SessionInfo is a read-only session summary.
+type SessionInfo struct {
+	Instance    string
+	App         string
+	Adaptivity  workload.Adaptivity
+	OwnUtility  bool
+	Stage       explore.Stage
+	CoAllocated bool
+	Measured    int
+	// Phase is the application-announced execution stage (§7 outlook
+	// extension; empty if never announced).
+	Phase string
+}
+
+// Config configures a Manager.
+type Config struct {
+	// Platform is the hardware description (required).
+	Platform *platform.Platform
+	// Allocator solves the MMKP; nil builds a default Lagrangian allocator.
+	Allocator *alloc.Allocator
+	// Explore tunes runtime exploration.
+	Explore explore.Config
+	// OfflineTables maps application names to pre-generated operating-point
+	// tables (the /etc/harp directory, §4.3).
+	OfflineTables map[string]*opoint.Table
+	// DisableExploration turns off online exploration — the HARP (Offline)
+	// configuration, mandatory on platforms without simultaneous PMU access
+	// such as the Odroid XU3-E (§6.4).
+	DisableExploration bool
+	// ReallocEvery is the stable-stage reallocation cadence in
+	// measurements; 0 selects DefaultReallocEvery.
+	ReallocEvery int
+}
+
+type session struct {
+	instance   string
+	app        string
+	adaptivity workload.Adaptivity
+	ownUtility bool
+
+	explorer *explore.Explorer
+
+	// Current decision state.
+	last *Decision
+
+	// Exploration state for the current epoch: the concrete core pool the
+	// session may roam in, and its per-kind size (the exploration bound).
+	pool  map[platform.KindID][]int
+	bound []int
+
+	stableMeasurements int
+	coAllocated        bool
+	phase              string
+}
+
+// Manager is the HARP resource manager.
+type Manager struct {
+	cfg       Config
+	allocator *alloc.Allocator
+	sessions  map[string]*session
+	explorers map[string]*explore.Explorer // per application name; persists across sessions
+	order     []string
+	seq       int
+	onDecide  []func(Decision)
+}
+
+// NewManager creates a resource manager.
+func NewManager(cfg Config) (*Manager, error) {
+	if cfg.Platform == nil {
+		return nil, errors.New("core: config without platform")
+	}
+	if err := cfg.Platform.Validate(); err != nil {
+		return nil, err
+	}
+	if !cfg.Platform.SimultaneousPMU && !cfg.DisableExploration {
+		return nil, fmt.Errorf(
+			"core: platform %s cannot monitor all core kinds simultaneously; online exploration must be disabled (§6.4)",
+			cfg.Platform.Name)
+	}
+	allocator := cfg.Allocator
+	if allocator == nil {
+		var err error
+		allocator, err = alloc.New(cfg.Platform)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.ReallocEvery == 0 {
+		cfg.ReallocEvery = DefaultReallocEvery
+	}
+	if cfg.ReallocEvery < 1 {
+		return nil, fmt.Errorf("core: realloc cadence %d", cfg.ReallocEvery)
+	}
+	return &Manager{
+		cfg:       cfg,
+		allocator: allocator,
+		sessions:  make(map[string]*session),
+		explorers: make(map[string]*explore.Explorer),
+	}, nil
+}
+
+// explorerFor returns the application's persistent explorer, creating and
+// seeding it on first use. Operating-point tables outlive individual
+// sessions: profiles are refined across repeated executions (§4.3,
+// "self-improving resource management").
+func (m *Manager) explorerFor(app string) *explore.Explorer {
+	if e, ok := m.explorers[app]; ok {
+		return e
+	}
+	e := explore.New(m.cfg.Platform, app, m.cfg.Explore)
+	if tbl, ok := m.cfg.OfflineTables[app]; ok {
+		e.SeedTable(tbl)
+	}
+	m.explorers[app] = e
+	return e
+}
+
+// OnDecision registers a callback invoked for every pushed decision.
+func (m *Manager) OnDecision(fn func(Decision)) {
+	m.onDecide = append(m.onDecide, fn)
+}
+
+// Register adds an application session and triggers a reallocation
+// (§4.1.1 step 1). If an offline table for the application exists it seeds
+// the session — with exploration disabled, that is the only knowledge source.
+func (m *Manager) Register(instance, app string, adaptivity workload.Adaptivity, ownUtility bool) error {
+	if instance == "" || app == "" {
+		return errors.New("core: registration with empty instance or app name")
+	}
+	if _, ok := m.sessions[instance]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicateSession, instance)
+	}
+	s := &session{
+		instance:   instance,
+		app:        app,
+		adaptivity: adaptivity,
+		ownUtility: ownUtility,
+		explorer:   m.explorerFor(app),
+	}
+	m.sessions[instance] = s
+	m.order = append(m.order, instance)
+	return m.Reallocate()
+}
+
+// UploadTable merges operating points supplied by the application itself
+// (description file shipped with the app, §4.1.1 step 2) and reallocates.
+func (m *Manager) UploadTable(instance string, t *opoint.Table) error {
+	s, err := m.session(instance)
+	if err != nil {
+		return err
+	}
+	if t == nil {
+		return errors.New("core: nil table upload")
+	}
+	if err := t.Validate(m.cfg.Platform); err != nil {
+		return err
+	}
+	s.explorer.SeedTable(t)
+	return m.Reallocate()
+}
+
+// Deregister removes a session (application exit) and reallocates.
+func (m *Manager) Deregister(instance string) error {
+	if _, err := m.session(instance); err != nil {
+		return err
+	}
+	delete(m.sessions, instance)
+	for i, id := range m.order {
+		if id == instance {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	if len(m.sessions) == 0 {
+		return nil
+	}
+	return m.Reallocate()
+}
+
+// Measure feeds one smoothed (utility, power) sample for a session
+// (§4.1.1 step 4; the embedding layer samples at 50 ms). Exploring sessions
+// fold it into the configuration under measurement; stable sessions count it
+// toward the periodic reallocation cadence.
+func (m *Manager) Measure(instance string, utility, power float64) error {
+	s, err := m.session(instance)
+	if err != nil {
+		return err
+	}
+	if s.coAllocated {
+		// Co-allocation distorts measurements; monitoring is suspended
+		// (§4.2.2, Limitations).
+		return nil
+	}
+	if m.exploring(s) {
+		if _, ok := s.explorer.Current(); !ok {
+			// Not currently measuring (e.g. just seeded); start a point.
+			if err := m.startExploration(s); err != nil {
+				return m.Reallocate()
+			}
+			return nil
+		}
+		done, err := s.explorer.Record(utility, power)
+		if err != nil {
+			return err
+		}
+		if !done {
+			return nil
+		}
+		if s.explorer.Stage() == explore.StageStable {
+			// Graduation: pick the cost-optimal allocation system-wide.
+			return m.Reallocate()
+		}
+		if err := m.startExploration(s); err != nil {
+			return m.Reallocate()
+		}
+		return nil
+	}
+
+	s.stableMeasurements++
+	if s.stableMeasurements >= m.cfg.ReallocEvery {
+		s.stableMeasurements = 0
+		return m.Reallocate()
+	}
+	return nil
+}
+
+// PhaseChange handles an application's announcement that it entered a new
+// execution stage with different performance-energy characteristics — the
+// interface extension from the paper's outlook (§7). The session's current
+// exploration measurement is discarded (it straddles two phases), the
+// stable-stage cadence restarts, and the allocation is reassessed so the new
+// phase's behaviour drives fresh measurements.
+func (m *Manager) PhaseChange(instance, phase string) error {
+	s, err := m.session(instance)
+	if err != nil {
+		return err
+	}
+	s.phase = phase
+	s.stableMeasurements = 0
+	if _, measuring := s.explorer.Current(); measuring {
+		s.explorer.Abort()
+	}
+	return m.Reallocate()
+}
+
+// Reallocate recomputes allocations for all sessions and pushes changed
+// decisions. It is invoked on registration, exits, graduation to the stable
+// stage, and the periodic stable-stage cadence.
+func (m *Manager) Reallocate() error {
+	if len(m.order) == 0 {
+		return nil
+	}
+
+	inputs := make([]alloc.AppInput, 0, len(m.order))
+	for _, id := range m.order {
+		s := m.sessions[id]
+		inputs = append(inputs, alloc.AppInput{ID: id, Table: s.explorer.PredictedTable()})
+	}
+	allocs, err := m.allocator.Allocate(inputs)
+	if err != nil {
+		return fmt.Errorf("core: allocate: %w", err)
+	}
+	byID := make(map[string]alloc.Allocation, len(allocs))
+	for _, al := range allocs {
+		byID[al.ID] = al
+	}
+
+	// Free cores per kind = capacity − cores granted to isolated sessions.
+	free := make(map[platform.KindID][]int)
+	used := make(map[int]bool)
+	for _, al := range allocs {
+		if al.CoAllocated {
+			continue
+		}
+		for _, g := range al.Grants {
+			used[g.Core] = true
+		}
+	}
+	for kindIdx := range m.cfg.Platform.Kinds {
+		lo, hi := m.cfg.Platform.CoreRange(platform.KindID(kindIdx))
+		for c := lo; c < hi; c++ {
+			if !used[c] {
+				free[platform.KindID(kindIdx)] = append(free[platform.KindID(kindIdx)], c)
+			}
+		}
+	}
+
+	// Count exploring sessions to split the free cores evenly (§5.3).
+	var exploring []*session
+	for _, id := range m.order {
+		s := m.sessions[id]
+		s.coAllocated = byID[id].CoAllocated
+		if m.exploring(s) && !s.coAllocated {
+			exploring = append(exploring, s)
+		}
+	}
+
+	for _, id := range m.order {
+		s := m.sessions[id]
+		al := byID[id]
+		if m.exploring(s) && !s.coAllocated {
+			m.setExplorationPool(s, al, free, len(exploring))
+			if err := m.startExploration(s); err != nil {
+				// Nothing left to explore within the bound; run the base
+				// allocation as-is.
+				s.explorer.Abort()
+				m.pushBase(s, al)
+			}
+			continue
+		}
+		s.explorer.Abort()
+		s.pool = nil
+		s.bound = nil
+		m.pushBase(s, al)
+	}
+	return nil
+}
+
+// exploring reports whether a session is still learning.
+func (m *Manager) exploring(s *session) bool {
+	return !m.cfg.DisableExploration && s.explorer.Stage() != explore.StageStable
+}
+
+// setExplorationPool gives the session its base cores plus an even share of
+// the free cores.
+func (m *Manager) setExplorationPool(s *session, al alloc.Allocation, free map[platform.KindID][]int, nExploring int) {
+	pool := make(map[platform.KindID][]int, len(m.cfg.Platform.Kinds))
+	for _, g := range al.Grants {
+		kind, err := m.cfg.Platform.KindOf(g.Core)
+		if err != nil {
+			continue
+		}
+		pool[kind] = append(pool[kind], g.Core)
+	}
+	if nExploring > 0 {
+		for kind, cores := range free {
+			share := len(cores) / nExploring
+			take := share
+			if take > len(cores) {
+				take = len(cores)
+			}
+			pool[kind] = append(pool[kind], cores[:take]...)
+			free[kind] = cores[take:]
+		}
+	}
+	s.pool = pool
+	s.bound = make([]int, len(m.cfg.Platform.Kinds))
+	for kind, cores := range pool {
+		s.bound[kind] = len(cores)
+	}
+}
+
+// startExploration picks the session's next configuration and pushes it.
+func (m *Manager) startExploration(s *session) error {
+	if s.bound == nil {
+		return explore.ErrNoCandidates
+	}
+	rv, err := s.explorer.Next(s.bound)
+	if err != nil {
+		return err
+	}
+	grants, err := m.grantsFromPool(s, rv)
+	if err != nil {
+		return err
+	}
+	m.push(s, Decision{
+		Instance:  s.instance,
+		Vector:    rv,
+		Threads:   m.threadsFor(s, rv),
+		Grants:    grants,
+		Exploring: true,
+	})
+	return nil
+}
+
+// grantsFromPool maps an exploration vector onto the session's reserved
+// cores.
+func (m *Manager) grantsFromPool(s *session, rv platform.ResourceVector) ([]alloc.CoreGrant, error) {
+	var grants []alloc.CoreGrant
+	for kindIdx, counts := range rv.Counts {
+		kind := platform.KindID(kindIdx)
+		next := 0
+		for tIdx, cores := range counts {
+			for c := 0; c < cores; c++ {
+				if next >= len(s.pool[kind]) {
+					return nil, fmt.Errorf("core: exploration vector %v exceeds pool of %s", rv, s.instance)
+				}
+				grants = append(grants, alloc.CoreGrant{Core: s.pool[kind][next], Threads: tIdx + 1})
+				next++
+			}
+		}
+	}
+	return grants, nil
+}
+
+// pushBase pushes an allocator decision unchanged.
+func (m *Manager) pushBase(s *session, al alloc.Allocation) {
+	m.push(s, Decision{
+		Instance:    s.instance,
+		Vector:      al.Point.Vector.Clone(),
+		Threads:     m.threadsFor(s, al.Point.Vector),
+		Grants:      al.Grants,
+		CoAllocated: al.CoAllocated,
+	})
+}
+
+// threadsFor derives the parallelisation degree from a vector: scalable and
+// custom applications match threads to granted hardware threads; static
+// applications cannot be rescaled (§4.1.3).
+func (m *Manager) threadsFor(s *session, rv platform.ResourceVector) int {
+	if s.adaptivity == workload.Static {
+		return 0
+	}
+	return rv.Threads()
+}
+
+// push emits a decision if it differs from the session's last one.
+func (m *Manager) push(s *session, d Decision) {
+	if s.last != nil && sameDecision(*s.last, d) {
+		return
+	}
+	m.seq++
+	d.Seq = m.seq
+	s.last = &d
+	for _, fn := range m.onDecide {
+		fn(d)
+	}
+}
+
+func sameDecision(a, b Decision) bool {
+	if !a.Vector.Equal(b.Vector) || a.Threads != b.Threads ||
+		a.CoAllocated != b.CoAllocated || a.Exploring != b.Exploring ||
+		len(a.Grants) != len(b.Grants) {
+		return false
+	}
+	ag := append([]alloc.CoreGrant(nil), a.Grants...)
+	bg := append([]alloc.CoreGrant(nil), b.Grants...)
+	sortGrants(ag)
+	sortGrants(bg)
+	for i := range ag {
+		if ag[i] != bg[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortGrants(gs []alloc.CoreGrant) {
+	sort.Slice(gs, func(i, j int) bool {
+		if gs[i].Core != gs[j].Core {
+			return gs[i].Core < gs[j].Core
+		}
+		return gs[i].Threads < gs[j].Threads
+	})
+}
+
+// session looks up a registered session.
+func (m *Manager) session(instance string) (*session, error) {
+	s, ok := m.sessions[instance]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownSession, instance)
+	}
+	return s, nil
+}
+
+// Stage returns a session's exploration maturity.
+func (m *Manager) Stage(instance string) (explore.Stage, error) {
+	s, err := m.session(instance)
+	if err != nil {
+		return 0, err
+	}
+	if m.cfg.DisableExploration {
+		return explore.StageStable, nil
+	}
+	return s.explorer.Stage(), nil
+}
+
+// AllStable reports whether every session has reached the stable stage
+// (Fig. 8's background shading).
+func (m *Manager) AllStable() bool {
+	for _, s := range m.sessions {
+		if m.exploring(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// Sessions returns summaries of all registered sessions in registration
+// order.
+func (m *Manager) Sessions() []SessionInfo {
+	out := make([]SessionInfo, 0, len(m.order))
+	for _, id := range m.order {
+		s := m.sessions[id]
+		stage := s.explorer.Stage()
+		if m.cfg.DisableExploration {
+			stage = explore.StageStable
+		}
+		out = append(out, SessionInfo{
+			Instance:    s.instance,
+			App:         s.app,
+			Adaptivity:  s.adaptivity,
+			OwnUtility:  s.ownUtility,
+			Stage:       stage,
+			CoAllocated: s.coAllocated,
+			Measured:    s.explorer.Table().MeasuredCount(),
+			Phase:       s.phase,
+		})
+	}
+	return out
+}
+
+// Table returns a snapshot of a session's learned operating points —
+// harpctl uses this, and Fig. 8 snapshots it every 5 s.
+func (m *Manager) Table(instance string) (*opoint.Table, error) {
+	s, err := m.session(instance)
+	if err != nil {
+		return nil, err
+	}
+	return s.explorer.Table().Clone(), nil
+}
+
+// LearnedTables returns a deep copy of every application's operating-point
+// table, keyed by application name — what /etc/harp accumulates over time
+// and what Fig. 8 snapshots during the learning phase.
+func (m *Manager) LearnedTables() map[string]*opoint.Table {
+	out := make(map[string]*opoint.Table, len(m.explorers))
+	for app, e := range m.explorers {
+		out[app] = e.Table().Clone()
+	}
+	return out
+}
+
+// OwnUtility reports whether the session supplies its own utility metric.
+func (m *Manager) OwnUtility(instance string) (bool, error) {
+	s, err := m.session(instance)
+	if err != nil {
+		return false, err
+	}
+	return s.ownUtility, nil
+}

@@ -1,0 +1,86 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6) on the simulated platforms. Each experiment returns typed
+// rows plus formatted text output; bench_test.go at the repository root
+// exposes one benchmark per experiment, and EXPERIMENTS.md records the
+// paper-versus-measured comparison.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/harp-rm/harp/harpsim"
+	"github.com/harp-rm/harp/internal/mathx"
+	"github.com/harp-rm/harp/internal/platform"
+	"github.com/harp-rm/harp/internal/workload"
+)
+
+// Config tunes experiment scale.
+type Config struct {
+	// Seed drives all measurement noise.
+	Seed int64
+	// LearnFor is the online-learning warm-up horizon; zero selects 90
+	// virtual seconds.
+	LearnFor time.Duration
+	// Quick trims scenario lists and seed counts for fast runs (used by
+	// -short test runs); the full configuration reproduces the paper scale.
+	Quick bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.LearnFor == 0 {
+		c.LearnFor = 90 * time.Second
+	}
+	return c
+}
+
+// Factor is an improvement factor over a baseline: >1 is better (faster /
+// less energy), exactly as the paper reports.
+type Factor struct {
+	Time   float64
+	Energy float64
+}
+
+// factorOf computes baseline/result improvement factors.
+func factorOf(baseline, result *harpsim.Result) Factor {
+	return Factor{
+		Time:   baseline.MakespanSec / result.MakespanSec,
+		Energy: baseline.EnergyJ / result.EnergyJ,
+	}
+}
+
+// geoMeanFactors aggregates factors geometrically (matching the paper's
+// geomean rows).
+func geoMeanFactors(fs []Factor) Factor {
+	times := make([]float64, len(fs))
+	energies := make([]float64, len(fs))
+	for i, f := range fs {
+		times[i] = f.Time
+		energies[i] = f.Energy
+	}
+	return Factor{Time: mathx.GeoMean(times), Energy: mathx.GeoMean(energies)}
+}
+
+// scenarioOf builds a named scenario from profile names within a suite.
+func scenarioOf(plat *platform.Platform, suite []*workload.Profile, names ...string) (harpsim.Scenario, error) {
+	var apps []*workload.Profile
+	label := ""
+	for i, n := range names {
+		p, err := workload.ByName(suite, n)
+		if err != nil {
+			return harpsim.Scenario{}, err
+		}
+		apps = append(apps, p)
+		if i > 0 {
+			label += "+"
+		}
+		label += n
+	}
+	return harpsim.Scenario{Name: label, Platform: plat, Apps: apps}, nil
+}
+
+// writeHeader prints a section header.
+func writeHeader(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n=== %s ===\n", title)
+}

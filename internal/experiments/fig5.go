@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/harp-rm/harp/internal/mathx"
+	"github.com/harp-rm/harp/internal/platform"
+	"github.com/harp-rm/harp/internal/regress"
+	"github.com/harp-rm/harp/internal/workload"
+)
+
+// Fig5Cell is one (model, training-size) aggregate across applications and
+// seeds.
+type Fig5Cell struct {
+	Model       string
+	TrainSize   int
+	MAPEIPS     float64
+	MAPEPower   float64
+	IGD         float64
+	CommonRatio float64
+}
+
+// Fig5Result reproduces Fig. 5: regression-model comparison on 15
+// applications measured on the Intel Raptor Lake.
+type Fig5Result struct {
+	Cells []Fig5Cell
+	// TrainSizes and Models index the cells.
+	TrainSizes []int
+	Models     []string
+}
+
+// Fig5 evaluates polynomial (degrees 1–3), neural-network and SVM models on
+// ground-truth characteristic tables, training on random subsets of several
+// sizes with multiple seeds (the paper uses 15 apps × 10 seeds).
+func Fig5(cfg Config) (*Fig5Result, error) {
+	cfg = cfg.withDefaults()
+	plat := platform.RaptorLake()
+	apps := workload.IntelApps()[:15]
+	sizes := []int{10, 15, 20, 30, 50, 80}
+	seeds := 10
+	models := []string{"poly1", "poly2", "poly3", "nn", "svm"}
+	if cfg.Quick {
+		apps = apps[:4]
+		sizes = []int{10, 20, 40}
+		seeds = 3
+	}
+
+	// Ground-truth tables: utility (IPS) and power per configuration, with
+	// mild measurement noise as a real profiling pass would have.
+	vecs := platform.EnumerateVectors(plat, 0)
+	features := make([][]float64, len(vecs))
+	for i, rv := range vecs {
+		features[i] = rv.Features()
+	}
+	type truth struct{ ips, power []float64 }
+	noise := rand.New(rand.NewSource(cfg.Seed + 17))
+	truths := make([]truth, len(apps))
+	for a, prof := range apps {
+		t := truth{ips: make([]float64, len(vecs)), power: make([]float64, len(vecs))}
+		for i, rv := range vecs {
+			ev := workload.EvaluateVector(plat, prof, rv)
+			t.ips[i] = ev.IPS * (1 + 0.02*noise.NormFloat64())
+			t.power[i] = ev.PowerWatts * (1 + 0.02*noise.NormFloat64())
+		}
+		truths[a] = t
+	}
+
+	registry := regress.Registry(cfg.Seed + 99)
+	res := &Fig5Result{TrainSizes: sizes, Models: models}
+	for _, modelName := range models {
+		factory := registry[modelName]
+		for _, size := range sizes {
+			var mapeIPS, mapePower, igd, common []float64
+			for a := range apps {
+				for seed := 0; seed < seeds; seed++ {
+					cell, ok := fig5One(factory, features, truths[a].ips, truths[a].power,
+						size, cfg.Seed+int64(seed)*1000+int64(a))
+					if !ok {
+						continue
+					}
+					mapeIPS = append(mapeIPS, cell.MAPEIPS)
+					mapePower = append(mapePower, cell.MAPEPower)
+					if !math.IsNaN(cell.IGD) {
+						igd = append(igd, cell.IGD)
+					}
+					if !math.IsNaN(cell.CommonRatio) {
+						common = append(common, cell.CommonRatio)
+					}
+				}
+			}
+			res.Cells = append(res.Cells, Fig5Cell{
+				Model:       modelName,
+				TrainSize:   size,
+				MAPEIPS:     mathx.Mean(mapeIPS),
+				MAPEPower:   mathx.Mean(mapePower),
+				IGD:         mathx.Mean(igd),
+				CommonRatio: mathx.Mean(common),
+			})
+		}
+	}
+	return res, nil
+}
+
+// fig5One trains one model pair on one subset and computes all four metrics.
+func fig5One(factory regress.Factory, features [][]float64, ips, power []float64, size int, seed int64) (Fig5Cell, bool) {
+	r := rand.New(rand.NewSource(seed))
+	idx := r.Perm(len(features))
+	if size > len(features) {
+		size = len(features)
+	}
+	trainX := make([][]float64, size)
+	trainIPS := make([]float64, size)
+	trainPower := make([]float64, size)
+	for i := 0; i < size; i++ {
+		trainX[i] = features[idx[i]]
+		trainIPS[i] = ips[idx[i]]
+		trainPower[i] = power[idx[i]]
+	}
+
+	mIPS := factory()
+	if err := mIPS.Fit(trainX, trainIPS); err != nil {
+		return Fig5Cell{}, false
+	}
+	mPower := factory()
+	if err := mPower.Fit(trainX, trainPower); err != nil {
+		return Fig5Cell{}, false
+	}
+
+	predIPS := make([]float64, len(features))
+	predPower := make([]float64, len(features))
+	for i, x := range features {
+		u, err1 := mIPS.Predict(x)
+		p, err2 := mPower.Predict(x)
+		if err1 != nil || err2 != nil {
+			return Fig5Cell{}, false
+		}
+		predIPS[i] = u
+		predPower[i] = p
+	}
+
+	refFront := regress.ParetoIndices(ips, power)
+	predFront := regress.ParetoIndices(predIPS, predPower)
+	refU, refP := pick(ips, refFront), pick(power, refFront)
+	prU, prP := pick(predIPS, predFront), pick(predPower, predFront)
+
+	return Fig5Cell{
+		MAPEIPS:     mathx.MAPE(ips, predIPS),
+		MAPEPower:   mathx.MAPE(power, predPower),
+		IGD:         regress.IGD(refU, refP, prU, prP),
+		CommonRatio: regress.CommonRatio(refFront, predFront),
+	}, true
+}
+
+func pick(xs []float64, idx []int) []float64 {
+	out := make([]float64, len(idx))
+	for i, j := range idx {
+		out[i] = xs[j]
+	}
+	return out
+}
+
+// Cell returns the aggregate for (model, size).
+func (r *Fig5Result) Cell(model string, size int) (Fig5Cell, bool) {
+	for _, c := range r.Cells {
+		if c.Model == model && c.TrainSize == size {
+			return c, true
+		}
+	}
+	return Fig5Cell{}, false
+}
+
+// Format writes the Fig. 5 table.
+func (r *Fig5Result) Format(w io.Writer) {
+	writeHeader(w, "Figure 5: regression models — MAPE(IPS), MAPE(Power), IGD, common Pareto ratio")
+	sizes := append([]int(nil), r.TrainSizes...)
+	sort.Ints(sizes)
+	for _, metric := range []string{"MAPE IPS [%]", "MAPE Power [%]", "IGD", "common ratio"} {
+		fmt.Fprintf(w, "\n%s\n%-8s", metric, "model")
+		for _, s := range sizes {
+			fmt.Fprintf(w, "%10s", fmt.Sprintf("n=%d", s))
+		}
+		fmt.Fprintln(w)
+		for _, m := range r.Models {
+			fmt.Fprintf(w, "%-8s", m)
+			for _, s := range sizes {
+				c, ok := r.Cell(m, s)
+				if !ok {
+					fmt.Fprintf(w, "%10s", "-")
+					continue
+				}
+				var v float64
+				switch metric {
+				case "MAPE IPS [%]":
+					v = c.MAPEIPS
+				case "MAPE Power [%]":
+					v = c.MAPEPower
+				case "IGD":
+					v = c.IGD
+				default:
+					v = c.CommonRatio
+				}
+				fmt.Fprintf(w, "%10.3f", v)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}

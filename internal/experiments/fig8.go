@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/harp-rm/harp/harpsim"
+	"github.com/harp-rm/harp/internal/mathx"
+	"github.com/harp-rm/harp/internal/platform"
+	"github.com/harp-rm/harp/internal/workload"
+)
+
+// Fig8Point is one learning snapshot: the improvement factors HARP would
+// achieve with the knowledge it had at that instant.
+type Fig8Point struct {
+	AtSec     float64
+	AllStable bool
+	Factor    Factor
+}
+
+// Fig8Scenario is the learning trajectory of one scenario.
+type Fig8Scenario struct {
+	Scenario       string
+	Multi          bool
+	StableAfterSec float64
+	Points         []Fig8Point
+}
+
+// Fig8Result reproduces Fig. 8: HARP's behaviour during the learning phase.
+// The paper snapshots the operating-point tables every 5 s and reports when
+// scenarios reach the stable stage (single ≈ 29.8 ± 5.9 s, multi ≈
+// 36.6 ± 8.0 s).
+type Fig8Result struct {
+	Scenarios []Fig8Scenario
+	// Stable-onset statistics across scenarios.
+	SingleStableMean, SingleStableStd float64
+	MultiStableMean, MultiStableStd   float64
+}
+
+// Fig8SingleNames are the single-application learning scenarios.
+func Fig8SingleNames() []string {
+	return []string{"ep.C", "ft.C", "mg.C", "lu.C", "cg.C", "binpack", "seismic", "vgg"}
+}
+
+// Fig8MultiNames are the multi-application learning scenarios.
+func Fig8MultiNames() [][]string {
+	return [][]string{
+		{"is.C", "lu.C"},
+		{"cg.C", "mg.C"},
+		{"ft.C", "mg.C", "cg.C"},
+		{"bt.C", "cg.C", "ft.C", "is.C"},
+		{"ep.C", "cg.C", "ft.C", "mg.C", "sp.C"},
+	}
+}
+
+// Fig8 runs the learning-phase experiment.
+func Fig8(cfg Config) (*Fig8Result, error) {
+	cfg = cfg.withDefaults()
+	plat := platform.RaptorLake()
+	suite := workload.IntelApps()
+
+	singles := Fig8SingleNames()
+	multis := Fig8MultiNames()
+	if cfg.Quick {
+		singles = []string{"ft.C", "mg.C"}
+		multis = [][]string{{"cg.C", "mg.C"}}
+	}
+
+	res := &Fig8Result{}
+	run := func(names []string, multi bool) error {
+		sc, err := scenarioOf(plat, suite, names...)
+		if err != nil {
+			return err
+		}
+		row, err := fig8Scenario(sc, cfg, multi)
+		if err != nil {
+			return err
+		}
+		res.Scenarios = append(res.Scenarios, *row)
+		return nil
+	}
+	for _, name := range singles {
+		if err := run([]string{name}, false); err != nil {
+			return nil, err
+		}
+	}
+	for _, names := range multis {
+		if err := run(names, true); err != nil {
+			return nil, err
+		}
+	}
+
+	var single, multi []float64
+	for _, s := range res.Scenarios {
+		if s.StableAfterSec < 0 {
+			continue
+		}
+		if s.Multi {
+			multi = append(multi, s.StableAfterSec)
+		} else {
+			single = append(single, s.StableAfterSec)
+		}
+	}
+	res.SingleStableMean, res.SingleStableStd = mathx.Mean(single), mathx.StdDev(single)
+	res.MultiStableMean, res.MultiStableStd = mathx.Mean(multi), mathx.StdDev(multi)
+	return res, nil
+}
+
+// fig8Scenario learns with 5 s snapshots, then replays the scenario with
+// each snapshot's knowledge to obtain the per-snapshot improvement factors.
+func fig8Scenario(sc harpsim.Scenario, cfg Config, multi bool) (*Fig8Scenario, error) {
+	base := harpsim.Options{Seed: cfg.Seed}
+
+	cfs, err := harpsim.Run(sc, withPolicy(base, harpsim.PolicyCFS))
+	if err != nil {
+		return nil, err
+	}
+	lr, err := harpsim.LearnTables(sc, cfg.LearnFor, 5*time.Second, base)
+	if err != nil {
+		return nil, err
+	}
+	row := &Fig8Scenario{
+		Scenario:       sc.Name,
+		Multi:          multi,
+		StableAfterSec: lr.StableAfterSec,
+	}
+	for _, snap := range lr.Snapshots {
+		opts := withPolicy(base, harpsim.PolicyHARPOffline)
+		opts.OfflineTables = snap.Tables
+		run, err := harpsim.Run(sc, opts)
+		if err != nil {
+			return nil, err
+		}
+		row.Points = append(row.Points, Fig8Point{
+			AtSec:     snap.AtSec,
+			AllStable: snap.AllStable,
+			Factor:    factorOf(cfs, run),
+		})
+	}
+	return row, nil
+}
+
+// Format writes the Fig. 8 summary.
+func (r *Fig8Result) Format(w io.Writer) {
+	writeHeader(w, "Figure 8: HARP improvement over CFS during the learning phase — Intel Raptor Lake")
+	for _, s := range r.Scenarios {
+		fmt.Fprintf(w, "\n%s (stable after %.1fs)\n", s.Scenario, s.StableAfterSec)
+		fmt.Fprintf(w, "%8s %10s %8s %8s\n", "t[s]", "stage", "time", "energy")
+		for _, p := range s.Points {
+			stage := "learning"
+			if p.AllStable {
+				stage = "stable"
+			}
+			fmt.Fprintf(w, "%8.0f %10s %7.2fx %7.2fx\n", p.AtSec, stage, p.Factor.Time, p.Factor.Energy)
+		}
+	}
+	fmt.Fprintf(w, "\nstable-stage onset: single %.1f ± %.1f s (paper: 29.8 ± 5.9), multi %.1f ± %.1f s (paper: 36.6 ± 8.0)\n",
+		r.SingleStableMean, r.SingleStableStd, r.MultiStableMean, r.MultiStableStd)
+}

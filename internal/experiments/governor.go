@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/harp-rm/harp/harpsim"
+	"github.com/harp-rm/harp/internal/platform"
+	"github.com/harp-rm/harp/internal/sim"
+	"github.com/harp-rm/harp/internal/workload"
+)
+
+// GovernorResult reproduces §6.3.3: the impact of the Linux frequency
+// governor on HARP's improvements. The paper reports HARP at 1.20×/1.44×
+// (time/energy) under performance versus 1.14×/1.42× under powersave, and
+// HARP (Offline) at 1.36×/1.61× versus 1.34×/1.58× — i.e. only a minor
+// effect.
+type GovernorResult struct {
+	// Factors[policy][governor] aggregates across all scenarios.
+	Factors map[string]map[string]Factor
+	// Scenarios lists the scenario names measured.
+	Scenarios []string
+}
+
+// Governor runs the governor ablation across the Fig. 6 scenario mix.
+func Governor(cfg Config) (*GovernorResult, error) {
+	cfg = cfg.withDefaults()
+	plat := platform.RaptorLake()
+	suite := workload.IntelApps()
+
+	scenarios := [][]string{
+		{"ep.C"}, {"mg.C"}, {"ft.C"}, {"lu.C"}, {"binpack"},
+		{"cg.C", "mg.C"}, {"ft.C", "mg.C", "cg.C"},
+		{"ep.C", "cg.C", "ft.C", "mg.C", "sp.C"},
+	}
+	if cfg.Quick {
+		scenarios = [][]string{{"mg.C"}, {"cg.C", "mg.C"}}
+	}
+	offline := harpsim.OfflineDSETables(plat, suite)
+	governors := map[string]sim.Governor{
+		"powersave":   sim.GovernorPowersave,
+		"performance": sim.GovernorPerformance,
+	}
+
+	res := &GovernorResult{Factors: map[string]map[string]Factor{
+		"harp":         make(map[string]Factor),
+		"harp-offline": make(map[string]Factor),
+	}}
+	for govName, gov := range governors {
+		var harpFactors, offFactors []Factor
+		for _, names := range scenarios {
+			sc, err := scenarioOf(plat, suite, names...)
+			if err != nil {
+				return nil, err
+			}
+			if govName == "powersave" {
+				res.Scenarios = append(res.Scenarios, sc.Name)
+			}
+			base := harpsim.Options{Seed: cfg.Seed, Governor: gov}
+			cfs, err := harpsim.Run(sc, withPolicy(base, harpsim.PolicyCFS))
+			if err != nil {
+				return nil, err
+			}
+			lr, err := harpsim.LearnTables(sc, cfg.LearnFor, 0, base)
+			if err != nil {
+				return nil, err
+			}
+			harpOpts := withPolicy(base, harpsim.PolicyHARP)
+			harpOpts.OfflineTables = lr.Tables
+			harp, err := harpsim.Run(sc, harpOpts)
+			if err != nil {
+				return nil, err
+			}
+			harpFactors = append(harpFactors, factorOf(cfs, harp))
+
+			offOpts := withPolicy(base, harpsim.PolicyHARPOffline)
+			offOpts.OfflineTables = offline
+			off, err := harpsim.Run(sc, offOpts)
+			if err != nil {
+				return nil, err
+			}
+			offFactors = append(offFactors, factorOf(cfs, off))
+		}
+		res.Factors["harp"][govName] = geoMeanFactors(harpFactors)
+		res.Factors["harp-offline"][govName] = geoMeanFactors(offFactors)
+	}
+	return res, nil
+}
+
+// Format writes the governor ablation table.
+func (r *GovernorResult) Format(w io.Writer) {
+	writeHeader(w, "§6.3.3: frequency-governor ablation — Intel Raptor Lake")
+	fmt.Fprintf(w, "%-14s %-13s %8s %8s\n", "policy", "governor", "time", "energy")
+	for _, policy := range []string{"harp", "harp-offline"} {
+		for _, gov := range []string{"powersave", "performance"} {
+			f := r.Factors[policy][gov]
+			fmt.Fprintf(w, "%-14s %-13s %7.2fx %7.2fx\n", policy, gov, f.Time, f.Energy)
+		}
+	}
+	fmt.Fprintf(w, "(paper: harp 1.14x/1.42x powersave vs 1.20x/1.44x performance;\n")
+	fmt.Fprintf(w, " offline 1.34x/1.58x powersave vs 1.36x/1.61x performance — minor effect)\n")
+}

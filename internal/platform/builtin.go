@@ -1,0 +1,106 @@
+package platform
+
+// RaptorLake returns the hardware description of the paper's desktop machine:
+// an Intel Core i9-13900K with 8 P-cores (SMT-2, pinned to 4.6 GHz) and 16
+// E-cores (3.8 GHz), RAPL package energy counters and full PMU coverage
+// (§6.1). The power and throughput constants are first-order calibrations:
+// P-cores are roughly twice as fast as E-cores on compute-bound work but far
+// less energy-efficient, and the gap nearly vanishes for memory-bound work.
+func RaptorLake() *Platform {
+	return &Platform{
+		Name: "intel-raptor-lake-i9-13900k",
+		Kinds: []CoreKind{
+			{
+				Name:           "P",
+				Count:          8,
+				SMT:            2,
+				MaxFreqGHz:     4.6,
+				MinFreqGHz:     0.8,
+				IPC:            4.2,
+				MemPenalty:     0.55,
+				SMTMaxGain:     0.45,
+				SMTPowerFactor: 0.4,
+				ActiveWatts:    9.5,
+				IdleWatts:      1.2,
+				SleepWatts:     0.1,
+			},
+			{
+				Name:        "E",
+				Count:       16,
+				SMT:         1,
+				MaxFreqGHz:  3.8,
+				MinFreqGHz:  0.8,
+				IPC:         2.6,
+				MemPenalty:  0.25,
+				SMTMaxGain:  0,
+				ActiveWatts: 3.6,
+				IdleWatts:   0.4,
+				SleepWatts:  0.05,
+			},
+		},
+		UncoreWatts:     14,
+		MemBWGips:       60,
+		EnergySensors:   "package",
+		SimultaneousPMU: true,
+	}
+}
+
+// OdroidXU3 returns the hardware description of the paper's embedded board:
+// a Samsung Exynos 5422 with a 4-core Cortex-A15 (big, 1.8 GHz) island and a
+// 4-core Cortex-A7 (LITTLE, 1.2 GHz) island, per-island energy sensors, and
+// a PMU that cannot observe both islands at once (§6.1, §6.4).
+func OdroidXU3() *Platform {
+	return &Platform{
+		Name: "odroid-xu3-e",
+		Kinds: []CoreKind{
+			{
+				Name: "A15",
+				// The out-of-order A15 hides part of its memory latency, so
+				// its memory penalty is lower than the in-order A7's —
+				// opposite to the Intel hybrid, where the small cores are
+				// also out-of-order.
+				Count:       4,
+				SMT:         1,
+				MaxFreqGHz:  1.8,
+				MinFreqGHz:  0.2,
+				IPC:         1.7,
+				MemPenalty:  0.35,
+				SMTMaxGain:  0,
+				ActiveWatts: 1.4,
+				IdleWatts:   0.15,
+				SleepWatts:  0.02,
+			},
+			{
+				Name:        "A7",
+				Count:       4,
+				SMT:         1,
+				MaxFreqGHz:  1.2,
+				MinFreqGHz:  0.2,
+				IPC:         0.9,
+				MemPenalty:  0.5,
+				SMTMaxGain:  0,
+				ActiveWatts: 0.22,
+				IdleWatts:   0.03,
+				SleepWatts:  0.005,
+			},
+		},
+		UncoreWatts:     0.6,
+		MemBWGips:       4,
+		EnergySensors:   "island",
+		SimultaneousPMU: false,
+	}
+}
+
+// Builtin returns the built-in platform with the given name, or nil if
+// unknown. Recognised names: the full platform names plus the shorthands
+// "raptorlake"/"intel" and "odroid"/"xu3".
+func Builtin(name string) *Platform {
+	switch name {
+	case "intel-raptor-lake-i9-13900k", "raptorlake", "intel":
+		return RaptorLake()
+	case "odroid-xu3-e", "odroid", "xu3":
+		return OdroidXU3()
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,201 @@
+// Package proto defines HARP's wire protocol between libharp and the
+// resource manager (§4.1.1): length-prefixed JSON messages over Unix domain
+// sockets. The paper uses protobuf; the protocol shape (registration,
+// operating-point upload, activation pushes, utility polling) is preserved
+// while the encoding stays stdlib-only.
+package proto
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/harp-rm/harp/internal/opoint"
+)
+
+// MaxFrame bounds one message on the wire; larger frames indicate a corrupt
+// or hostile peer.
+const MaxFrame = 4 << 20
+
+// Common protocol errors.
+var (
+	// ErrFrameTooLarge is returned for frames exceeding MaxFrame.
+	ErrFrameTooLarge = errors.New("proto: frame exceeds maximum size")
+	// ErrUnknownType is returned when decoding a payload from an envelope of
+	// a different type.
+	ErrUnknownType = errors.New("proto: unexpected message type")
+)
+
+// MsgType enumerates protocol messages.
+type MsgType string
+
+// Protocol message types, in typical flow order (Fig. 3).
+const (
+	// MsgRegister: application → RM, upon libharp initialisation.
+	MsgRegister MsgType = "register"
+	// MsgRegisterAck: RM → application, accepting the session.
+	MsgRegisterAck MsgType = "register-ack"
+	// MsgOperatingPoints: application → RM, uploading a description file's
+	// operating points.
+	MsgOperatingPoints MsgType = "operating-points"
+	// MsgActivate: RM → application, pushing the selected operating point
+	// and concrete resources.
+	MsgActivate MsgType = "activate"
+	// MsgUtilityRequest: RM → application, polling the current utility.
+	MsgUtilityRequest MsgType = "utility-request"
+	// MsgUtilityReport: application → RM, answering a utility request or
+	// pushing a subscribed update.
+	MsgUtilityReport MsgType = "utility-report"
+	// MsgExit: application → RM, graceful deregistration.
+	MsgExit MsgType = "exit"
+	// MsgPhaseChange: application → RM, announcing a transition between
+	// execution stages with distinct performance-energy characteristics.
+	// This implements the interface extension sketched in the paper's
+	// outlook (§7): the RM discards smoothed state and re-evaluates the
+	// allocation for the new phase.
+	MsgPhaseChange MsgType = "phase-change"
+)
+
+// Envelope frames one message.
+type Envelope struct {
+	Type MsgType         `json:"type"`
+	Body json.RawMessage `json:"body,omitempty"`
+}
+
+// Register announces an application to the RM.
+type Register struct {
+	// PID identifies the process on the machine.
+	PID int `json:"pid"`
+	// App is the application name (matched against description files).
+	App string `json:"app"`
+	// Adaptivity is the libharp adaptivity class: "static", "scalable" or
+	// "custom" (§4.1.3).
+	Adaptivity string `json:"adaptivity"`
+	// OwnUtility indicates the application will report an app-specific
+	// utility metric (§4.2.1).
+	OwnUtility bool `json:"ownUtility,omitempty"`
+	// ReplyAddr is the application's own socket for RM push messages.
+	ReplyAddr string `json:"replyAddr,omitempty"`
+}
+
+// RegisterAck accepts or rejects a registration.
+type RegisterAck struct {
+	SessionID string `json:"sessionId"`
+	OK        bool   `json:"ok"`
+	Error     string `json:"error,omitempty"`
+}
+
+// OperatingPoints uploads an application description's points (§4.1.1
+// step 2).
+type OperatingPoints struct {
+	Table opoint.Table `json:"table"`
+}
+
+// CoreGrant mirrors alloc.CoreGrant on the wire.
+type CoreGrant struct {
+	Core    int `json:"core"`
+	Threads int `json:"threads"`
+}
+
+// Activate pushes an allocation decision to the application (§4.1.1
+// step 3).
+type Activate struct {
+	// Seq orders activations; stale utility reports reference it.
+	Seq int `json:"seq"`
+	// VectorKey is the canonical key of the extended resource vector.
+	VectorKey string `json:"vectorKey"`
+	// Threads is the parallelisation degree for scalable applications.
+	Threads int `json:"threads"`
+	// Cores lists the concrete cores granted.
+	Cores []CoreGrant `json:"cores"`
+	// CoAllocated warns the application it is time-sharing cores.
+	CoAllocated bool `json:"coAllocated,omitempty"`
+}
+
+// UtilityReport carries an application-specific utility sample (§4.1.1
+// step 4).
+type UtilityReport struct {
+	Seq     int     `json:"seq"`
+	Utility float64 `json:"utility"`
+}
+
+// PhaseChange announces an execution-stage transition (§7 outlook).
+type PhaseChange struct {
+	// Phase is an application-chosen label for the new stage.
+	Phase string `json:"phase"`
+}
+
+// Write frames and writes one message.
+func Write(w io.Writer, typ MsgType, body any) error {
+	var raw json.RawMessage
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("proto: marshal %s: %w", typ, err)
+		}
+		raw = b
+	}
+	frame, err := json.Marshal(Envelope{Type: typ, Body: raw})
+	if err != nil {
+		return fmt.Errorf("proto: marshal envelope: %w", err)
+	}
+	if len(frame) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var header [4]byte
+	binary.BigEndian.PutUint32(header[:], uint32(len(frame)))
+	if _, err := w.Write(header[:]); err != nil {
+		return fmt.Errorf("proto: write header: %w", err)
+	}
+	if _, err := w.Write(frame); err != nil {
+		return fmt.Errorf("proto: write frame: %w", err)
+	}
+	return nil
+}
+
+// Read reads one framed message. io.EOF is returned verbatim on a clean
+// close before the header.
+func Read(r io.Reader) (Envelope, error) {
+	var header [4]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Envelope{}, io.EOF
+		}
+		return Envelope{}, fmt.Errorf("proto: read header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(header[:])
+	if n > MaxFrame {
+		return Envelope{}, ErrFrameTooLarge
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return Envelope{}, fmt.Errorf("proto: read frame: %w", err)
+	}
+	var env Envelope
+	if err := json.Unmarshal(buf, &env); err != nil {
+		return Envelope{}, fmt.Errorf("proto: decode envelope: %w", err)
+	}
+	if env.Type == "" {
+		return Envelope{}, errors.New("proto: envelope without type")
+	}
+	return env, nil
+}
+
+// DecodeBody unmarshals an envelope's body into out after checking the type.
+func DecodeBody(env Envelope, want MsgType, out any) error {
+	if env.Type != want {
+		return fmt.Errorf("%w: got %q, want %q", ErrUnknownType, env.Type, want)
+	}
+	if out == nil {
+		return nil
+	}
+	if len(env.Body) == 0 {
+		return fmt.Errorf("proto: %s without body", want)
+	}
+	if err := json.Unmarshal(env.Body, out); err != nil {
+		return fmt.Errorf("proto: decode %s: %w", want, err)
+	}
+	return nil
+}

@@ -1,0 +1,246 @@
+package proto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"github.com/harp-rm/harp/internal/opoint"
+	"github.com/harp-rm/harp/internal/platform"
+)
+
+func TestRoundTripRegister(t *testing.T) {
+	var buf bytes.Buffer
+	give := Register{PID: 1234, App: "ep.C", Adaptivity: "scalable", OwnUtility: true, ReplyAddr: "/tmp/x.sock"}
+	if err := Write(&buf, MsgRegister, give); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	env, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	var got Register
+	if err := DecodeBody(env, MsgRegister, &got); err != nil {
+		t.Fatalf("DecodeBody: %v", err)
+	}
+	if got != give {
+		t.Errorf("round trip = %+v, want %+v", got, give)
+	}
+}
+
+func TestRoundTripActivate(t *testing.T) {
+	var buf bytes.Buffer
+	give := Activate{
+		Seq:       7,
+		VectorKey: "1,2|4",
+		Threads:   9,
+		Cores: []CoreGrant{
+			{Core: 0, Threads: 1},
+			{Core: 1, Threads: 2},
+			{Core: 8, Threads: 1},
+		},
+		CoAllocated: true,
+	}
+	if err := Write(&buf, MsgActivate, give); err != nil {
+		t.Fatal(err)
+	}
+	env, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Activate
+	if err := DecodeBody(env, MsgActivate, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != give.Seq || got.VectorKey != give.VectorKey ||
+		got.Threads != give.Threads || len(got.Cores) != 3 || !got.CoAllocated {
+		t.Errorf("round trip = %+v, want %+v", got, give)
+	}
+}
+
+func TestRoundTripOperatingPoints(t *testing.T) {
+	p := platform.RaptorLake()
+	rv, err := platform.VectorOf(p, []int{1, 2}, []int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := opoint.Table{App: "ep.C", Platform: p.Name}
+	tbl.Upsert(opoint.OperatingPoint{Vector: rv, Utility: 100, Power: 42, Measured: true})
+
+	var buf bytes.Buffer
+	if err := Write(&buf, MsgOperatingPoints, OperatingPoints{Table: tbl}); err != nil {
+		t.Fatal(err)
+	}
+	env, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got OperatingPoints
+	if err := DecodeBody(env, MsgOperatingPoints, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Table.App != "ep.C" || len(got.Table.Points) != 1 {
+		t.Fatalf("table = %+v", got.Table)
+	}
+	if !got.Table.Points[0].Vector.Equal(rv) {
+		t.Errorf("vector = %v, want %v", got.Table.Points[0].Vector, rv)
+	}
+}
+
+func TestBodylessMessages(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, MsgUtilityRequest, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&buf, MsgExit, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []MsgType{MsgUtilityRequest, MsgExit} {
+		env, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if env.Type != want {
+			t.Errorf("type = %q, want %q", env.Type, want)
+		}
+		if err := DecodeBody(env, want, nil); err != nil {
+			t.Errorf("DecodeBody(nil out): %v", err)
+		}
+	}
+}
+
+func TestMultipleMessagesInSequence(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 5; i++ {
+		if err := Write(&buf, MsgUtilityReport, UtilityReport{Seq: i, Utility: float64(i) * 1.5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		env, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("Read %d: %v", i, err)
+		}
+		var rep UtilityReport
+		if err := DecodeBody(env, MsgUtilityReport, &rep); err != nil {
+			t.Fatal(err)
+		}
+		if rep.Seq != i {
+			t.Errorf("seq = %d, want %d", rep.Seq, i)
+		}
+	}
+	if _, err := Read(&buf); !errors.Is(err, io.EOF) {
+		t.Errorf("Read(empty) = %v, want io.EOF", err)
+	}
+}
+
+func TestDecodeBodyTypeMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, MsgRegister, Register{PID: 1, App: "x", Adaptivity: "static"}); err != nil {
+		t.Fatal(err)
+	}
+	env, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var act Activate
+	if err := DecodeBody(env, MsgActivate, &act); !errors.Is(err, ErrUnknownType) {
+		t.Errorf("err = %v, want ErrUnknownType", err)
+	}
+}
+
+func TestDecodeBodyMissingBody(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, MsgRegister, nil); err != nil {
+		t.Fatal(err)
+	}
+	env, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reg Register
+	if err := DecodeBody(env, MsgRegister, &reg); err == nil {
+		t.Error("missing body accepted")
+	}
+}
+
+func TestReadRejectsOversizedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	var header [4]byte
+	binary.BigEndian.PutUint32(header[:], MaxFrame+1)
+	buf.Write(header[:])
+	if _, err := Read(&buf); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestReadTruncatedFrame(t *testing.T) {
+	var full bytes.Buffer
+	if err := Write(&full, MsgExit, nil); err != nil {
+		t.Fatal(err)
+	}
+	raw := full.Bytes()
+	// Truncate mid-frame: header promises more than available.
+	trunc := bytes.NewReader(raw[:len(raw)-2])
+	if _, err := Read(trunc); err == nil {
+		t.Error("truncated frame accepted")
+	}
+	// Truncate mid-header.
+	trunc = bytes.NewReader(raw[:2])
+	if _, err := Read(trunc); err == nil || errors.Is(err, io.EOF) {
+		t.Errorf("mid-header truncation err = %v, want a non-EOF error", err)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("this is not json")
+	var header [4]byte
+	binary.BigEndian.PutUint32(header[:], uint32(len(payload)))
+	buf.Write(header[:])
+	buf.Write(payload)
+	if _, err := Read(&buf); err == nil {
+		t.Error("garbage frame accepted")
+	}
+}
+
+func TestReadRejectsEmptyType(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte(`{"body":null}`)
+	var header [4]byte
+	binary.BigEndian.PutUint32(header[:], uint32(len(payload)))
+	buf.Write(header[:])
+	buf.Write(payload)
+	if _, err := Read(&buf); err == nil {
+		t.Error("typeless envelope accepted")
+	}
+}
+
+// Property: UtilityReport survives the frame round trip for arbitrary
+// values.
+func TestUtilityReportRoundTripProperty(t *testing.T) {
+	f := func(seq int, utility float64) bool {
+		if utility != utility || utility > 1e308 || utility < -1e308 {
+			return true // NaN/Inf are not valid JSON numbers
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, MsgUtilityReport, UtilityReport{Seq: seq, Utility: utility}); err != nil {
+			return false
+		}
+		env, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		var got UtilityReport
+		if err := DecodeBody(env, MsgUtilityReport, &got); err != nil {
+			return false
+		}
+		return got.Seq == seq && got.Utility == utility
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

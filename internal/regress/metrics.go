@@ -1,0 +1,95 @@
+package regress
+
+import (
+	"math"
+)
+
+// ParetoIndices returns the indices of the (utility max, power min) Pareto
+// front over parallel slices of characteristics. Ties keep the first
+// occurrence, matching opoint's dominance semantics.
+func ParetoIndices(utility, power []float64) []int {
+	n := len(utility)
+	var out []int
+	for i := 0; i < n; i++ {
+		dominated := false
+		for j := 0; j < n && !dominated; j++ {
+			if i == j {
+				continue
+			}
+			betterEq := utility[j] >= utility[i] && power[j] <= power[i]
+			strictly := utility[j] > utility[i] || power[j] < power[i]
+			if betterEq && strictly {
+				dominated = true
+			}
+			if betterEq && !strictly && j < i {
+				dominated = true // duplicate; keep first
+			}
+		}
+		if !dominated {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// IGD computes the inverted generational distance from a reference front to
+// a predicted front in (utility, power) space, normalised by the reference
+// ranges so the two objectives weigh equally. Lower is better; 0 means the
+// predicted front covers every reference point exactly.
+func IGD(refU, refP, predU, predP []float64) float64 {
+	if len(refU) == 0 || len(predU) == 0 {
+		return math.NaN()
+	}
+	uLo, uHi := minMax(refU)
+	pLo, pHi := minMax(refP)
+	uRange := uHi - uLo
+	pRange := pHi - pLo
+	if uRange == 0 {
+		uRange = 1
+	}
+	if pRange == 0 {
+		pRange = 1
+	}
+	var sum float64
+	for i := range refU {
+		best := math.Inf(1)
+		for j := range predU {
+			du := (refU[i] - predU[j]) / uRange
+			dp := (refP[i] - predP[j]) / pRange
+			if d := math.Sqrt(du*du + dp*dp); d < best {
+				best = d
+			}
+		}
+		sum += best
+	}
+	return sum / float64(len(refU))
+}
+
+// CommonRatio returns |ref ∩ pred| / |ref| over two index sets identifying
+// operating points (Fig. 5's "ratio of common operating points"; higher is
+// better).
+func CommonRatio(ref, pred []int) float64 {
+	if len(ref) == 0 {
+		return math.NaN()
+	}
+	inPred := make(map[int]bool, len(pred))
+	for _, i := range pred {
+		inPred[i] = true
+	}
+	var common int
+	for _, i := range ref {
+		if inPred[i] {
+			common++
+		}
+	}
+	return float64(common) / float64(len(ref))
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, v := range xs {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return lo, hi
+}

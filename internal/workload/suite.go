@@ -1,0 +1,237 @@
+package workload
+
+import "fmt"
+
+// The suites below parameterise the paper's evaluation workloads (§6.2).
+// Work sizes are calibrated so baseline makespans land in the ranges the
+// paper reports (e.g. ep.C ≈ 2.4 s under CFS, §6.5.1); the behavioural
+// parameters encode each benchmark's published character:
+//
+//   - ep is embarrassingly parallel, compute-bound, and profits from using
+//     both hyper-threads of each P-core (Fig. 1a).
+//   - mg is memory-bound: extra cores burn power without speedup, and the
+//     best configurations sit on the E-core island (Fig. 1b).
+//   - binpack's workers contend on one shared input queue, collapsing at the
+//     32-thread default and giving HARP its ≈7× headline win (§6.3.1).
+//   - lu spin-waits, so observed IPS overstates useful work and misguides
+//     IPS-based utility (§6.3.1).
+//   - primes and is are too short to amortise management overhead.
+//   - KPN apps come in a custom-adaptive and a static-topology variant
+//     (§6.2, evaluated on the Odroid only).
+
+// NASIntel returns the NAS Parallel Benchmarks, class C, as run on the
+// Raptor Lake machine. All are OpenMP: scalable, barrier-coupled, blocking
+// waits unless noted.
+func NASIntel() []*Profile {
+	nas := func(name string, work, serial, mem, smt, sync float64) *Profile {
+		return &Profile{
+			Name:         name,
+			Adaptivity:   Scalable,
+			WorkGI:       work,
+			SerialFrac:   serial,
+			MemBound:     mem,
+			SMTFriendly:  smt,
+			Barrier:      true,
+			Wait:         Block,
+			SyncOverhead: sync,
+		}
+	}
+	lu := nas("lu.C", 12500, 0.010, 0.30, 0.40, 0.006)
+	lu.Wait = Spin // lu busy-waits in its pipelined sweeps; IPS overstates utility
+	return []*Profile{
+		nas("bt.C", 9300, 0.010, 0.35, 0.40, 0.004),
+		nas("cg.C", 1350, 0.020, 0.80, 0.10, 0.002),
+		nas("ep.C", 760, 0.002, 0.05, 0.90, 0.000),
+		nas("ft.C", 2050, 0.015, 0.65, 0.20, 0.002),
+		withStartup(nas("is.C", 81, 0.050, 0.75, 0.10, 0.002), 3),
+		lu,
+		nas("mg.C", 900, 0.030, 0.85, 0.10, 0.002),
+		nas("sp.C", 5500, 0.012, 0.55, 0.30, 0.003),
+		nas("ua.C", 4700, 0.020, 0.50, 0.20, 0.008),
+	}
+}
+
+// TBBIntel returns the Intel TBB benchmarks (§6.2). TBB work-steals, so the
+// models use dynamic load distribution and no barrier pacing.
+func TBBIntel() []*Profile {
+	tbb := func(name string, work, serial, mem, smt, sync float64) *Profile {
+		return &Profile{
+			Name:         name,
+			Adaptivity:   Scalable,
+			WorkGI:       work,
+			SerialFrac:   serial,
+			MemBound:     mem,
+			SMTFriendly:  smt,
+			DynamicLoad:  true,
+			Wait:         Block,
+			SyncOverhead: sync,
+		}
+	}
+	binpack := tbb("binpack", 175, 0.005, 0.30, 0.50, 0.002)
+	binpack.QueueCap = 4
+	binpack.QueuePenalty = 1.2
+	return []*Profile{
+		binpack,
+		tbb("fractal", 3100, 0.005, 0.08, 0.60, 0.000),
+		tbb("parallel-preorder", 900, 0.020, 0.45, 0.30, 0.006),
+		tbb("pi", 2170, 0.001, 0.02, 0.80, 0.000),
+		withStartup(tbb("primes", 220, 0.010, 0.15, 0.50, 0.001), 5),
+		tbb("seismic", 1125, 0.010, 0.60, 0.30, 0.004),
+	}
+}
+
+// TensorFlowIntel returns the two TensorFlow Lite image-recognition models
+// run through the HARP-enabled wrapper (§6.2). They report an
+// application-specific utility (inferences per second).
+func TensorFlowIntel() []*Profile {
+	return []*Profile{
+		{
+			Name:         "vgg",
+			Adaptivity:   Scalable,
+			WorkGI:       3560,
+			SerialFrac:   0.06,
+			MemBound:     0.30,
+			SMTFriendly:  0.50,
+			DynamicLoad:  true,
+			Wait:         Block,
+			SyncOverhead: 0.003,
+			OwnUtility:   true,
+			UtilityScale: 0.02,
+		},
+		{
+			Name:         "alexnet",
+			Adaptivity:   Scalable,
+			WorkGI:       900,
+			SerialFrac:   0.04,
+			MemBound:     0.40,
+			SMTFriendly:  0.40,
+			DynamicLoad:  true,
+			Wait:         Block,
+			SyncOverhead: 0.003,
+			OwnUtility:   true,
+			UtilityScale: 0.2,
+		},
+	}
+}
+
+// NASOdroid returns the NAS benchmarks, class A, as run on the Odroid XU3-E.
+func NASOdroid() []*Profile {
+	nas := func(name string, work, serial, mem, sync float64) *Profile {
+		return &Profile{
+			Name:         name,
+			Adaptivity:   Scalable,
+			WorkGI:       work,
+			SerialFrac:   serial,
+			MemBound:     mem,
+			Barrier:      true,
+			Wait:         Block,
+			SyncOverhead: sync,
+		}
+	}
+	lu := nas("lu.A", 440, 0.010, 0.30, 0.006)
+	lu.Wait = Spin
+	return []*Profile{
+		nas("bt.A", 330, 0.010, 0.35, 0.004),
+		nas("cg.A", 46, 0.020, 0.80, 0.002),
+		nas("ep.A", 100, 0.002, 0.05, 0.000),
+		nas("ft.A", 67, 0.015, 0.65, 0.002),
+		withStartup(nas("is.A", 12, 0.050, 0.75, 0.002), 1),
+		lu,
+		nas("mg.A", 34, 0.030, 0.85, 0.002),
+		nas("sp.A", 200, 0.012, 0.55, 0.003),
+		nas("ua.A", 250, 0.020, 0.50, 0.008),
+	}
+}
+
+// KPNOdroid returns the Kahn-process-network applications (§6.2): mandelbrot
+// and lms (Leighton–Micali signatures), each in a custom-adaptive variant
+// (implicit data parallelism, scaled through libharp callbacks) and a
+// static-topology variant whose process count is fixed at launch.
+func KPNOdroid() []*Profile {
+	return []*Profile{
+		{
+			Name:       "mandelbrot",
+			Adaptivity: Custom,
+			WorkGI:     295,
+			SerialFrac: 0.02,
+			MemBound:   0.03,
+			// The KPN launches with its natural topology (1 source + 4
+			// workers); only HARP's parallel-region knob can widen it.
+			DefaultThreads: 5,
+			DynamicLoad:    true,
+			Wait:           Block,
+			SyncOverhead:   0.002,
+			OwnUtility:     true,
+			UtilityScale:   1,
+		},
+		{
+			Name:           "mandelbrot-static",
+			Adaptivity:     Static,
+			WorkGI:         295,
+			SerialFrac:     0.02,
+			MemBound:       0.03,
+			DynamicLoad:    true,
+			Wait:           Block,
+			SyncOverhead:   0.002,
+			DefaultThreads: 5,
+		},
+		{
+			Name:           "lms",
+			Adaptivity:     Custom,
+			WorkGI:         180,
+			SerialFrac:     0.10,
+			MemBound:       0.12,
+			DefaultThreads: 4, // natural KPN topology; widened via the HARP knob
+			DynamicLoad:    true,
+			Wait:           Block,
+			SyncOverhead:   0.004,
+			OwnUtility:     true,
+			UtilityScale:   1,
+		},
+		{
+			Name:           "lms-static",
+			Adaptivity:     Static,
+			WorkGI:         180,
+			SerialFrac:     0.10,
+			MemBound:       0.12,
+			DynamicLoad:    true,
+			Wait:           Block,
+			SyncOverhead:   0.004,
+			DefaultThreads: 4,
+		},
+	}
+}
+
+// IntelApps returns every Intel single-application workload (9 NAS + 6 TBB +
+// 2 TensorFlow), fresh copies safe to mutate.
+func IntelApps() []*Profile {
+	var out []*Profile
+	out = append(out, NASIntel()...)
+	out = append(out, TBBIntel()...)
+	out = append(out, TensorFlowIntel()...)
+	return out
+}
+
+// OdroidApps returns every Odroid single-application workload (9 NAS class A
+// + 4 KPN variants).
+func OdroidApps() []*Profile {
+	var out []*Profile
+	out = append(out, NASOdroid()...)
+	out = append(out, KPNOdroid()...)
+	return out
+}
+
+// ByName finds a profile by name in the given suite.
+func ByName(suite []*Profile, name string) (*Profile, error) {
+	for _, p := range suite {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("workload: unknown profile %q", name)
+}
+
+func withStartup(p *Profile, startupGI float64) *Profile {
+	p.StartupGI = startupGI
+	return p
+}
