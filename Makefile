@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: build test check race bench bench-parallel
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the CI gate: vet plus the full test suite under the race detector.
+# The race run covers the internal/parallel worker pool and every experiment
+# driver fanning units across it.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# bench-parallel compares the sequential and fanned-out Fig. 6 runs; on a
+# multi-core host the parallel variant should be several times faster with
+# bit-identical metrics.
+bench-parallel:
+	$(GO) test -bench 'BenchmarkFigure6(Sequential|Parallel)$$' -benchtime 1x -run '^$$' .

@@ -7,21 +7,36 @@
 // the full paper-scale scenario lists (the full Fig. 6 alone takes several
 // minutes of wall time). Headline values are exported as benchmark metrics;
 // run with -v to also print the formatted tables.
+//
+// The experiment drivers fan their scenario × policy × seed units out across
+// a bounded worker pool; HARP_EXPERIMENT_PARALLELISM bounds it (0 or unset =
+// one worker per CPU, 1 = sequential). Results are bit-identical at any
+// setting — see BenchmarkFigure6Sequential/Parallel for the wall-clock
+// comparison.
 package bench
 
 import (
 	"io"
 	"os"
+	"strconv"
 	"testing"
 
 	"github.com/harp-rm/harp/internal/experiments"
 )
 
-// benchConfig selects quick or full experiment scale.
+// benchConfig selects quick or full experiment scale and reads the
+// parallelism bound from HARP_EXPERIMENT_PARALLELISM.
 func benchConfig() experiments.Config {
+	parallelism := 0
+	if v := os.Getenv("HARP_EXPERIMENT_PARALLELISM"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			parallelism = n
+		}
+	}
 	return experiments.Config{
-		Seed:  1,
-		Quick: os.Getenv("HARP_FULL_EXPERIMENTS") == "",
+		Seed:        1,
+		Quick:       os.Getenv("HARP_FULL_EXPERIMENTS") == "",
+		Parallelism: parallelism,
 	}
 }
 
@@ -87,6 +102,31 @@ func BenchmarkFigure6IntelRaptorLake(b *testing.B) {
 			b.ReportMetric(res.GeoMulti["harp"].Energy, "harp-multi-energy-x")
 			b.ReportMetric(res.GeoMulti["harp-offline"].Time, "offline-multi-time-x")
 			sink(b, res)
+		}
+	}
+}
+
+// BenchmarkFigure6Sequential runs Fig. 6 with the worker pool forced to a
+// single inline worker — the baseline for the parallel speedup comparison.
+func BenchmarkFigure6Sequential(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Parallelism = 1
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure6Parallel runs Fig. 6 with one worker per CPU. The reported
+// metrics are bit-identical to BenchmarkFigure6Sequential (the determinism
+// test in internal/experiments asserts this); only the wall time differs.
+func BenchmarkFigure6Parallel(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Parallelism = 0
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6(cfg); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

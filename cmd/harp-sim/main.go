@@ -154,16 +154,17 @@ func parsePolicy(name string) (harpsim.Policy, error) {
 func runExperiment(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("harp-sim experiment", flag.ContinueOnError)
 	var (
-		quick = fs.Bool("quick", false, "trimmed scenario lists for a fast run")
-		seed  = fs.Int64("seed", 1, "noise seed")
+		quick    = fs.Bool("quick", false, "trimmed scenario lists for a fast run")
+		seed     = fs.Int64("seed", 1, "noise seed")
+		parallel = fs.Int("parallelism", 0, "worker count for the experiment fan-out (0 = one per CPU, 1 = sequential)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return errors.New("usage: harp-sim experiment <name> [-quick] [-seed N]")
+		return errors.New("usage: harp-sim experiment <name> [-quick] [-seed N] [-parallelism N]")
 	}
-	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, Parallelism: *parallel}
 
 	type runner struct {
 		name string

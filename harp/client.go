@@ -129,7 +129,7 @@ func (c *Client) UploadDescription(r io.Reader) error {
 	if err != nil {
 		return err
 	}
-	return c.write(proto.MsgOperatingPoints, proto.OperatingPoints{Table: *tbl})
+	return c.write(proto.MsgOperatingPoints, proto.OperatingPoints{Table: tbl})
 }
 
 // UploadDescriptionFile sends the description at path.

@@ -338,11 +338,11 @@ func (s *Server) handleConn(conn net.Conn) {
 		switch env.Type {
 		case proto.MsgOperatingPoints:
 			var up proto.OperatingPoints
-			if err := proto.DecodeBody(env, proto.MsgOperatingPoints, &up); err != nil {
+			if err := proto.DecodeBody(env, proto.MsgOperatingPoints, &up); err != nil || up.Table == nil {
 				continue
 			}
 			s.mu.Lock()
-			_ = s.mgr.UploadTable(instance, &up.Table)
+			_ = s.mgr.UploadTable(instance, up.Table)
 			s.mu.Unlock()
 		case proto.MsgUtilityReport:
 			var rep proto.UtilityReport

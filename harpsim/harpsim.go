@@ -12,6 +12,7 @@ import (
 
 	"github.com/harp-rm/harp/internal/explore"
 	"github.com/harp-rm/harp/internal/opoint"
+	"github.com/harp-rm/harp/internal/parallel"
 	"github.com/harp-rm/harp/internal/platform"
 	"github.com/harp-rm/harp/internal/sim"
 	"github.com/harp-rm/harp/internal/workload"
@@ -227,8 +228,16 @@ type Snapshot struct {
 // description files (§3.2.1). The allocator Pareto-filters, so full tables
 // are fine.
 func OfflineDSETables(plat *platform.Platform, profiles []*workload.Profile) map[string]*opoint.Table {
-	out := make(map[string]*opoint.Table, len(profiles))
-	for _, prof := range profiles {
+	return OfflineDSETablesParallel(plat, profiles, 0)
+}
+
+// OfflineDSETablesParallel is OfflineDSETables with an explicit parallelism
+// bound (0 = one worker per CPU, 1 = sequential). Each profile's design-space
+// exploration is an independent deterministic unit, so the tables are
+// identical at any parallelism level.
+func OfflineDSETablesParallel(plat *platform.Platform, profiles []*workload.Profile, parallelism int) map[string]*opoint.Table {
+	tables, err := parallel.Map(parallelism, len(profiles), func(i int) (*opoint.Table, error) {
+		prof := profiles[i]
 		tbl := &opoint.Table{App: prof.Name, Platform: plat.Name}
 		for _, rv := range platform.EnumerateVectors(plat, 0) {
 			ev := workload.EvaluateVector(plat, prof, rv)
@@ -239,7 +248,16 @@ func OfflineDSETables(plat *platform.Platform, profiles []*workload.Profile) map
 				Measured: true,
 			})
 		}
-		out[prof.Name] = tbl
+		return tbl, nil
+	})
+	if err != nil {
+		// The unit function never returns an error; only a worker panic can
+		// land here, and that would have crashed the sequential loop too.
+		panic(err)
+	}
+	out := make(map[string]*opoint.Table, len(profiles))
+	for i, prof := range profiles {
+		out[prof.Name] = tables[i]
 	}
 	return out
 }

@@ -117,6 +117,11 @@ type harpHarness struct {
 	managed  map[string]*sim.Proc // instance → proc
 	energyAt map[string]float64   // attributed energy of exited procs
 
+	// instOrder caches the sorted instance names measureTick iterates every
+	// 50 ms tick; instDirty is set whenever the managed set changes.
+	instOrder []string
+	instDirty bool
+
 	stableAtSec float64
 	timeline    []TimelineEvent
 
@@ -199,8 +204,10 @@ func (h *harpHarness) register(p *sim.Proc) {
 	// Record the instance before registering: the RM pushes the first
 	// decision synchronously from within Register.
 	h.managed[p.Name()] = p
+	h.instDirty = true
 	if err := h.mgr.Register(p.Name(), prof.Name, prof.Adaptivity, prof.OwnUtility); err != nil {
 		delete(h.managed, p.Name())
+		h.instDirty = true
 		h.mon.Untrack(p.ID())
 		return
 	}
@@ -263,16 +270,25 @@ func (h *harpHarness) applyDecision(d core.Decision) {
 	}
 }
 
+// instances returns the managed instance names in sorted order, rebuilding
+// the cached slice only when the managed set changed since the last tick.
+func (h *harpHarness) instances() []string {
+	if h.instDirty {
+		h.instOrder = h.instOrder[:0]
+		for instance := range h.managed {
+			h.instOrder = append(h.instOrder, instance)
+		}
+		sort.Strings(h.instOrder)
+		h.instDirty = false
+	}
+	return h.instOrder
+}
+
 // measureTick is the 50 ms monitoring cadence: sample every managed app and
 // feed the RM (in deterministic instance order).
 func (h *harpHarness) measureTick(now time.Duration) {
 	samples := h.mon.Sample()
-	instances := make([]string, 0, len(h.managed))
-	for instance := range h.managed {
-		instances = append(instances, instance)
-	}
-	sort.Strings(instances)
-	for _, instance := range instances {
+	for _, instance := range h.instances() {
 		p := h.managed[instance]
 		meas, ok := samples[p.ID()]
 		if !ok {
@@ -295,6 +311,7 @@ func (h *harpHarness) onExit(p *sim.Proc) {
 		h.energyAt[p.Name()] = h.mon.Untrack(p.ID())
 		_ = h.mgr.Deregister(p.Name())
 		delete(h.managed, p.Name())
+		h.instDirty = true
 		h.retax()
 	}
 	if h.repeat && h.machine.Now() < h.repeatUntil {

@@ -223,6 +223,15 @@ func (a *Allocator) fallbackCandidate() candidate {
 // lagrangianSelect runs the subgradient iteration on the relaxed problem:
 // each application independently minimises cost + λ·demand, and λ rises on
 // over-demanded kinds.
+//
+// Candidates sharing a core-demand vector see the same λ·demand penalty, so
+// within a demand group only the cheapest candidate — the first in cost
+// order — can win the relaxed minimisation. The iteration therefore scans
+// one representative per distinct demand vector (tens instead of hundreds),
+// with demands pre-converted to float64. Representatives keep first-occurrence
+// order and the per-candidate arithmetic is unchanged, so the selected
+// indices, and with them the final allocation, are bit-identical to the full
+// scan.
 func (a *Allocator) lagrangianSelect(states []*appState, capacity []int) {
 	nk := len(capacity)
 	lambda := make([]float64, nk)
@@ -242,19 +251,46 @@ func (a *Allocator) lagrangianSelect(states []*appState, capacity []int) {
 		scale = costSum / coreSum
 	}
 
+	type rep struct {
+		idx    int // index into st.cands
+		cost   float64
+		demand []float64
+	}
+	reps := make([][]rep, len(states))
+	for si, st := range states {
+		seen := make(map[uint64]bool, len(st.cands))
+		for i, c := range st.cands {
+			key, ok := demandKey(c.demand)
+			if ok {
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+			}
+			fd := make([]float64, len(c.demand))
+			for k, d := range c.demand {
+				fd[k] = float64(d)
+			}
+			reps[si] = append(reps[si], rep{idx: i, cost: c.cost, demand: fd})
+		}
+	}
+
+	demand := make([]int, nk)
 	for it := 0; it < a.iters; it++ {
-		demand := make([]int, nk)
-		for _, st := range states {
+		for k := range demand {
+			demand[k] = 0
+		}
+		for si, st := range states {
 			best := 0
 			bestVal := math.Inf(1)
-			for i, c := range st.cands {
-				v := c.cost
-				for k, d := range c.demand {
-					v += lambda[k] * float64(d)
+			for _, r := range reps[si] {
+				v := r.cost
+				for k, d := range r.demand {
+					v += lambda[k] * d
 				}
 				if v < bestVal {
 					bestVal = v
-					best = i
+					best = r.idx
 				}
 			}
 			st.chosen = best
@@ -268,6 +304,22 @@ func (a *Allocator) lagrangianSelect(states []*appState, capacity []int) {
 			lambda[k] = math.Max(0, lambda[k]+step*over)
 		}
 	}
+}
+
+// demandKey packs a per-kind core-demand vector into a dedup key; ok is
+// false when the vector does not fit (the caller then keeps the candidate
+// without deduplication, which is always correct).
+func demandKey(demand []int) (key uint64, ok bool) {
+	if len(demand) > 4 {
+		return 0, false
+	}
+	for _, d := range demand {
+		if d < 0 || d >= 1<<16 {
+			return 0, false
+		}
+		key = key<<16 | uint64(d)
+	}
+	return key, true
 }
 
 // repair makes the relaxed selection feasible: in application order, keep
@@ -430,14 +482,21 @@ func TotalCost(allocs []Allocation, inputs []AppInput) float64 {
 
 // Overlaps reports whether two allocations share any (core, hardware-thread)
 // pair — used by invariant tests: non-co-allocated allocations must never
-// overlap.
+// overlap. Grants on a core always occupy its hardware threads from sibling 0
+// upward, so two allocations collide exactly when both hold a positive thread
+// count on a common core. An allocation may carry several grants for the same
+// core (the co-allocation wrap-around case); the per-core occupancy is the
+// maximum over its grants — assigning the last grant's count would let a
+// trailing zero-thread grant mask a genuine overlap.
 func Overlaps(a, b Allocation) bool {
 	used := make(map[int]int, len(a.Grants))
 	for _, g := range a.Grants {
-		used[g.Core] = g.Threads
+		if g.Threads > used[g.Core] {
+			used[g.Core] = g.Threads
+		}
 	}
 	for _, g := range b.Grants {
-		if used[g.Core] > 0 {
+		if g.Threads > 0 && used[g.Core] > 0 {
 			return true
 		}
 	}

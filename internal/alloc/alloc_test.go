@@ -319,3 +319,30 @@ func TestLagrangianNoWorseThanGreedyCost(t *testing.T) {
 		t.Errorf("lagrangian cost %.2f noticeably above greedy %.2f", lc, gc)
 	}
 }
+
+// Overlaps must not let a later grant on the same core shadow an earlier
+// one: an allocation that wraps around (co-allocation) can hold several
+// grants for one core, and the per-core occupancy is the maximum over them.
+func TestOverlapsMultipleGrantsSameCore(t *testing.T) {
+	a := Allocation{ID: "a", Grants: []CoreGrant{
+		{Core: 3, Threads: 2},
+		{Core: 3, Threads: 0}, // must not erase the occupancy above
+	}}
+	b := Allocation{ID: "b", Grants: []CoreGrant{{Core: 3, Threads: 1}}}
+	if !Overlaps(a, b) {
+		t.Error("overlap on core 3 missed when a later zero-thread grant shadows it")
+	}
+	if !Overlaps(b, a) {
+		t.Error("Overlaps not symmetric for the shadowed-grant case")
+	}
+	// Zero-thread grants occupy nothing: no overlap in either direction.
+	c := Allocation{ID: "c", Grants: []CoreGrant{{Core: 3, Threads: 0}}}
+	if Overlaps(b, c) || Overlaps(c, b) {
+		t.Error("zero-thread grant reported as overlapping")
+	}
+	// Disjoint cores never overlap.
+	d := Allocation{ID: "d", Grants: []CoreGrant{{Core: 4, Threads: 2}}}
+	if Overlaps(a, d) {
+		t.Error("disjoint cores reported as overlapping")
+	}
+}

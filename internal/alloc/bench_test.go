@@ -37,6 +37,7 @@ func benchmarkAllocate(b *testing.B, method Method) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := a.Allocate(inputs); err != nil {

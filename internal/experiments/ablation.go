@@ -10,6 +10,7 @@ import (
 	"github.com/harp-rm/harp/internal/explore"
 	"github.com/harp-rm/harp/internal/mathx"
 	"github.com/harp-rm/harp/internal/opoint"
+	"github.com/harp-rm/harp/internal/parallel"
 	"github.com/harp-rm/harp/internal/platform"
 	"github.com/harp-rm/harp/internal/regress"
 	"github.com/harp-rm/harp/internal/workload"
@@ -37,7 +38,7 @@ func AllocAblation(cfg Config) (*AllocAblationResult, error) {
 	cfg = cfg.withDefaults()
 	plat := platform.RaptorLake()
 	suite := workload.IntelApps()
-	tables := harpsim.OfflineDSETables(plat, suite)
+	tables := harpsim.OfflineDSETablesParallel(plat, suite, cfg.Parallelism)
 
 	mixes := [][]string{
 		{"ep.C", "mg.C"},
@@ -49,12 +50,15 @@ func AllocAblation(cfg Config) (*AllocAblationResult, error) {
 		mixes = mixes[:2]
 	}
 
-	res := &AllocAblationResult{}
-	for _, names := range mixes {
+	// One unit per application mix; each unit runs both solvers. The shared
+	// offline tables are only read (their derived-data caches are
+	// mutex-guarded), so concurrent mixes cannot influence each other.
+	rows, err := parallel.Map(cfg.Parallelism, len(mixes), func(i int) (AllocAblationRow, error) {
+		names := mixes[i]
 		label := names[0]
 		inputs := make([]alloc.AppInput, 0, len(names))
-		for i, n := range names {
-			if i > 0 {
+		for j, n := range names {
+			if j > 0 {
 				label += "+" + n
 			}
 			inputs = append(inputs, alloc.AppInput{ID: n, Table: tables[n]})
@@ -63,12 +67,12 @@ func AllocAblation(cfg Config) (*AllocAblationResult, error) {
 		for _, method := range []alloc.Method{alloc.Lagrangian, alloc.Greedy} {
 			a, err := alloc.New(plat, alloc.WithMethod(method))
 			if err != nil {
-				return nil, err
+				return row, err
 			}
 			start := time.Now()
 			allocs, err := a.Allocate(inputs)
 			if err != nil {
-				return nil, err
+				return row, err
 			}
 			elapsed := float64(time.Since(start).Microseconds())
 			cost := alloc.TotalCost(allocs, inputs)
@@ -84,9 +88,12 @@ func AllocAblation(cfg Config) (*AllocAblationResult, error) {
 				row.GreedyCost, row.GreedyCoAll, row.GreedyUs = cost, coAll, elapsed
 			}
 		}
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &AllocAblationResult{Rows: rows}, nil
 }
 
 // Format writes the allocator ablation table.
@@ -141,14 +148,15 @@ func ExploreAblation(cfg Config) (*ExploreAblationResult, error) {
 	suite := workload.IntelApps()
 	caps := []int{8, 16}
 
-	res := &ExploreAblationResult{}
-	var hs, es, hm, em []float64
-	for _, name := range apps {
+	// One unit per application; each runs both exploration strategies against
+	// its own ground-truth table.
+	rows, err := parallel.Map(cfg.Parallelism, len(apps), func(i int) (ExploreAblationRow, error) {
+		name := apps[i]
 		prof, err := workload.ByName(suite, name)
 		if err != nil {
-			return nil, err
+			return ExploreAblationRow{}, err
 		}
-		truth := harpsim.OfflineDSETables(plat, []*workload.Profile{prof})[name]
+		truth := harpsim.OfflineDSETablesParallel(plat, []*workload.Profile{prof}, 1)[name]
 
 		// Strategy A: HARP's heuristics.
 		heur := explore.New(plat, name, explore.Config{MeasurementsPerPoint: 1, StableAfter: budget})
@@ -159,7 +167,7 @@ func ExploreAblation(cfg Config) (*ExploreAblationResult, error) {
 			}
 			ev := workload.EvaluateVector(plat, prof, rv)
 			if _, err := heur.Record(ev.Utility, ev.PowerWatts); err != nil {
-				return nil, err
+				return ExploreAblationRow{}, err
 			}
 		}
 		// Strategy B: measure the first `budget` configurations in
@@ -177,19 +185,23 @@ func ExploreAblation(cfg Config) (*ExploreAblationResult, error) {
 
 		hPred := heur.PredictedTable()
 		ePred := enum.PredictedTable()
-		hIGD := tableIGD(truth, hPred)
-		eIGD := tableIGD(truth, ePred)
-		hMAPE := tableMAPE(truth, hPred)
-		eMAPE := tableMAPE(truth, ePred)
-		hs = append(hs, hIGD)
-		es = append(es, eIGD)
-		hm = append(hm, hMAPE)
-		em = append(em, eMAPE)
-		res.Rows = append(res.Rows, ExploreAblationRow{
+		return ExploreAblationRow{
 			App: name, Budget: budget,
-			HeuristicIGD: hIGD, EnumerationIGD: eIGD,
-			HeuristicMAPE: hMAPE, EnumerationMAPE: eMAPE,
-		})
+			HeuristicIGD: tableIGD(truth, hPred), EnumerationIGD: tableIGD(truth, ePred),
+			HeuristicMAPE: tableMAPE(truth, hPred), EnumerationMAPE: tableMAPE(truth, ePred),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ExploreAblationResult{Rows: rows}
+	var hs, es, hm, em []float64
+	for _, row := range rows {
+		hs = append(hs, row.HeuristicIGD)
+		es = append(es, row.EnumerationIGD)
+		hm = append(hm, row.HeuristicMAPE)
+		em = append(em, row.EnumerationMAPE)
 	}
 	res.HeuristicMean = mathx.Mean(hs)
 	res.EnumerationMean = mathx.Mean(es)

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 
 	"github.com/harp-rm/harp/harpsim"
 	"github.com/harp-rm/harp/internal/mathx"
+	"github.com/harp-rm/harp/internal/parallel"
 	"github.com/harp-rm/harp/internal/platform"
 	"github.com/harp-rm/harp/internal/workload"
 )
@@ -47,32 +49,46 @@ func Attribution(cfg Config) (*AttributionResult, error) {
 	if cfg.Quick {
 		scenarios = scenarios[:2]
 	}
-	offline := harpsim.OfflineDSETables(plat, suite)
+	offline := harpsim.OfflineDSETablesParallel(plat, suite, cfg.Parallelism)
 
-	res := &AttributionResult{}
-	var truths, attrs []float64
-	for _, names := range scenarios {
+	scs := make([]harpsim.Scenario, len(scenarios))
+	for i, names := range scenarios {
 		sc, err := scenarioOf(plat, suite, names...)
 		if err != nil {
 			return nil, err
 		}
-		opts := harpsim.Options{
+		scs[i] = sc
+	}
+	runs, err := parallel.Map(cfg.Parallelism, len(scs), func(i int) (*harpsim.Result, error) {
+		return harpsim.Run(scs[i], harpsim.Options{
 			Policy:        harpsim.PolicyHARPOffline,
 			OfflineTables: offline,
 			Seed:          cfg.Seed,
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &AttributionResult{}
+	var truths, attrs []float64
+	for i, run := range runs {
+		// Iterate the per-app results in sorted order: the Apps map has no
+		// deterministic range order, and the MAPE sums in row order.
+		apps := make([]string, 0, len(run.Apps))
+		for app := range run.Apps {
+			apps = append(apps, app)
 		}
-		run, err := harpsim.Run(sc, opts)
-		if err != nil {
-			return nil, err
-		}
-		for app, ar := range run.Apps {
+		sort.Strings(apps)
+		for _, app := range apps {
+			ar := run.Apps[app]
 			if ar.DynEnergyJ <= 0 || ar.AttributedEnergyJ <= 0 {
 				continue
 			}
 			truths = append(truths, ar.DynEnergyJ)
 			attrs = append(attrs, ar.AttributedEnergyJ)
 			res.Rows = append(res.Rows, AttributionRow{
-				Scenario:    sc.Name,
+				Scenario:    scs[i].Name,
 				App:         app,
 				TrueJ:       ar.DynEnergyJ,
 				AttributedJ: ar.AttributedEnergyJ,

@@ -26,6 +26,12 @@ type Config struct {
 	// Quick trims scenario lists and seed counts for fast runs (used by
 	// -short test runs); the full configuration reproduces the paper scale.
 	Quick bool
+	// Parallelism bounds the worker pool every driver fans its independent
+	// scenario × policy × seed units out across: 0 selects one worker per
+	// CPU, 1 forces a strictly sequential run. Each unit owns its own
+	// simulated machine and RNG seeds and results are merged in submission
+	// order, so the reported metrics are bit-identical at any setting.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"github.com/harp-rm/harp/internal/opoint"
+	"github.com/harp-rm/harp/internal/parallel"
 	"github.com/harp-rm/harp/internal/platform"
 	"github.com/harp-rm/harp/internal/workload"
 )
@@ -50,36 +51,63 @@ func Fig1(cfg Config) (*Fig1Result, error) {
 	names := []string{"ep.C", "mg.C"}
 	noise := rand.New(rand.NewSource(cfg.Seed + 1))
 
-	res := &Fig1Result{}
+	// Fig. 1's axes are thread distributions: #E-cores (x) versus
+	// #P-hyperthreads (y). For a given P-hyperthread count, threads pack
+	// onto ⌈pht/2⌉ P-cores (pairs first, plus one single-thread core for
+	// odd counts).
+	//
+	// The run-to-run noise comes from one shared RNG stream, so the draws are
+	// made sequentially in sweep order here; only the (deterministic) model
+	// evaluations fan out across the pool.
+	type unit struct {
+		prof   *workload.Profile
+		pht, e int
+		tNoise float64
+		eNoise float64
+	}
+	var units []unit
 	for _, name := range names {
 		prof, err := workload.ByName(suite, name)
 		if err != nil {
 			return nil, err
 		}
-		app := Fig1App{App: name}
-		// Fig. 1's axes are thread distributions: #E-cores (x) versus
-		// #P-hyperthreads (y). For a given P-hyperthread count, threads pack
-		// onto ⌈pht/2⌉ P-cores (pairs first, plus one single-thread core for
-		// odd counts).
 		for pht := 0; pht <= 16; pht++ {
 			for e := 0; e <= 16; e++ {
 				if pht == 0 && e == 0 {
 					continue
 				}
-				rv, err := platform.VectorOf(plat, []int{pht % 2, pht / 2}, []int{e})
-				if err != nil {
-					return nil, err
-				}
-				ev := workload.EvaluateVector(plat, prof, rv)
-				app.Points = append(app.Points, Fig1Point{
-					Vector:        rv,
-					PHyperthreads: pht,
-					ECores:        e,
-					TimeSec:       ev.TimeSec * (1 + 0.015*noise.NormFloat64()),
-					EnergyJ:       ev.EnergyJ * (1 + 0.015*noise.NormFloat64()),
+				units = append(units, unit{
+					prof: prof, pht: pht, e: e,
+					tNoise: 1 + 0.015*noise.NormFloat64(),
+					eNoise: 1 + 0.015*noise.NormFloat64(),
 				})
 			}
 		}
+	}
+
+	points, err := parallel.Map(cfg.Parallelism, len(units), func(i int) (Fig1Point, error) {
+		u := units[i]
+		rv, err := platform.VectorOf(plat, []int{u.pht % 2, u.pht / 2}, []int{u.e})
+		if err != nil {
+			return Fig1Point{}, err
+		}
+		ev := workload.EvaluateVector(plat, u.prof, rv)
+		return Fig1Point{
+			Vector:        rv,
+			PHyperthreads: u.pht,
+			ECores:        u.e,
+			TimeSec:       ev.TimeSec * u.tNoise,
+			EnergyJ:       ev.EnergyJ * u.eNoise,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Fig1Result{}
+	perApp := len(units) / len(names)
+	for a, name := range names {
+		app := Fig1App{App: name, Points: points[a*perApp : (a+1)*perApp]}
 		markFig1Pareto(app.Points)
 		res.Apps = append(res.Apps, app)
 	}

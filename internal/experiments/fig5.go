@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"github.com/harp-rm/harp/internal/mathx"
+	"github.com/harp-rm/harp/internal/parallel"
 	"github.com/harp-rm/harp/internal/platform"
 	"github.com/harp-rm/harp/internal/regress"
 	"github.com/harp-rm/harp/internal/workload"
@@ -71,25 +72,45 @@ func Fig5(cfg Config) (*Fig5Result, error) {
 
 	registry := regress.Registry(cfg.Seed + 99)
 	res := &Fig5Result{TrainSizes: sizes, Models: models}
-	for _, modelName := range models {
-		factory := registry[modelName]
-		for _, size := range sizes {
+
+	// Fan the full model × size × app × seed grid across the pool. Every
+	// unit trains fresh model instances from a deterministic seed, and the
+	// results are aggregated positionally in grid order below, so the means
+	// sum in exactly the sequential order (bit-identical aggregates).
+	type fit struct {
+		cell Fig5Cell
+		ok   bool
+	}
+	perCell := len(apps) * seeds
+	n := len(models) * len(sizes) * perCell
+	fits, err := parallel.Map(cfg.Parallelism, n, func(u int) (fit, error) {
+		mi := u / (len(sizes) * perCell)
+		si := u / perCell % len(sizes)
+		a := u / seeds % len(apps)
+		seed := u % seeds
+		cell, ok := fig5One(registry[models[mi]], features, truths[a].ips, truths[a].power,
+			sizes[si], cfg.Seed+int64(seed)*1000+int64(a))
+		return fit{cell, ok}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for mi, modelName := range models {
+		for si, size := range sizes {
 			var mapeIPS, mapePower, igd, common []float64
-			for a := range apps {
-				for seed := 0; seed < seeds; seed++ {
-					cell, ok := fig5One(factory, features, truths[a].ips, truths[a].power,
-						size, cfg.Seed+int64(seed)*1000+int64(a))
-					if !ok {
-						continue
-					}
-					mapeIPS = append(mapeIPS, cell.MAPEIPS)
-					mapePower = append(mapePower, cell.MAPEPower)
-					if !math.IsNaN(cell.IGD) {
-						igd = append(igd, cell.IGD)
-					}
-					if !math.IsNaN(cell.CommonRatio) {
-						common = append(common, cell.CommonRatio)
-					}
+			base := (mi*len(sizes) + si) * perCell
+			for _, f := range fits[base : base+perCell] {
+				if !f.ok {
+					continue
+				}
+				mapeIPS = append(mapeIPS, f.cell.MAPEIPS)
+				mapePower = append(mapePower, f.cell.MAPEPower)
+				if !math.IsNaN(f.cell.IGD) {
+					igd = append(igd, f.cell.IGD)
+				}
+				if !math.IsNaN(f.cell.CommonRatio) {
+					common = append(common, f.cell.CommonRatio)
 				}
 			}
 			res.Cells = append(res.Cells, Fig5Cell{

@@ -7,7 +7,7 @@ import (
 	"strings"
 
 	"github.com/harp-rm/harp/harpsim"
-	"github.com/harp-rm/harp/internal/opoint"
+	"github.com/harp-rm/harp/internal/parallel"
 	"github.com/harp-rm/harp/internal/platform"
 	"github.com/harp-rm/harp/internal/sim"
 	"github.com/harp-rm/harp/internal/workload"
@@ -73,33 +73,84 @@ func Fig6(cfg Config) (*Fig6Result, error) {
 		multis = [][]string{{"cg.C", "mg.C"}, {"ft.C", "mg.C", "cg.C"}}
 	}
 
-	offline := harpsim.OfflineDSETables(plat, suite)
+	offline := harpsim.OfflineDSETablesParallel(plat, suite, cfg.Parallelism)
+
+	type scMeta struct {
+		sc    harpsim.Scenario
+		multi bool
+	}
+	var metas []scMeta
+	for _, name := range singles {
+		sc, err := scenarioOf(plat, suite, name)
+		if err != nil {
+			return nil, err
+		}
+		metas = append(metas, scMeta{sc, false})
+	}
+	for _, names := range multis {
+		sc, err := scenarioOf(plat, suite, names...)
+		if err != nil {
+			return nil, err
+		}
+		metas = append(metas, scMeta{sc, true})
+	}
+
+	// Fan scenario × policy units across the pool: every unit builds its own
+	// machine from the scenario and the shared read-only tables, so results
+	// are bit-identical at any parallelism level. The "harp" unit chains its
+	// online-learning warm-up with the measured run (the learned tables are
+	// unit-local state).
+	const nPolicies = 5 // cfs, itd, harp (learn+run), harp-offline, harp-noscaling
+	runs, err := parallel.Map(cfg.Parallelism, len(metas)*nPolicies, func(u int) (*harpsim.Result, error) {
+		m := metas[u/nPolicies]
+		base := harpsim.Options{Seed: cfg.Seed, Governor: sim.GovernorPowersave}
+		switch u % nPolicies {
+		case 0:
+			return harpsim.Run(m.sc, withPolicy(base, harpsim.PolicyCFS))
+		case 1:
+			return harpsim.Run(m.sc, withPolicy(base, harpsim.PolicyITD))
+		case 2:
+			// HARP with stable operating points learned online (§6.3:
+			// behaviour during learning is Fig. 8's subject).
+			learned, err := harpsim.LearnTables(m.sc, cfg.LearnFor, 0, base)
+			if err != nil {
+				return nil, err
+			}
+			opts := withPolicy(base, harpsim.PolicyHARP)
+			opts.OfflineTables = learned.Tables
+			return harpsim.Run(m.sc, opts)
+		case 3:
+			opts := withPolicy(base, harpsim.PolicyHARPOffline)
+			opts.OfflineTables = offline
+			return harpsim.Run(m.sc, opts)
+		default:
+			opts := withPolicy(base, harpsim.PolicyHARPNoScaling)
+			opts.OfflineTables = offline
+			return harpsim.Run(m.sc, opts)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
 
 	res := &Fig6Result{
 		GeoSingle: make(map[string]Factor),
 		GeoMulti:  make(map[string]Factor),
 	}
-	run := func(names []string, multi bool) error {
-		sc, err := scenarioOf(plat, suite, names...)
-		if err != nil {
-			return err
-		}
-		row, err := fig6Scenario(sc, offline, cfg, multi)
-		if err != nil {
-			return err
-		}
-		res.Rows = append(res.Rows, *row)
-		return nil
-	}
-	for _, name := range singles {
-		if err := run([]string{name}, false); err != nil {
-			return nil, err
-		}
-	}
-	for _, names := range multis {
-		if err := run(names, true); err != nil {
-			return nil, err
-		}
+	for s, m := range metas {
+		cfs := runs[s*nPolicies]
+		res.Rows = append(res.Rows, Fig6Row{
+			Scenario:       m.sc.Name,
+			Multi:          m.multi,
+			CFSMakespanSec: cfs.MakespanSec,
+			CFSEnergyJ:     cfs.EnergyJ,
+			Factors: map[string]Factor{
+				"itd":            factorOf(cfs, runs[s*nPolicies+1]),
+				"harp":           factorOf(cfs, runs[s*nPolicies+2]),
+				"harp-offline":   factorOf(cfs, runs[s*nPolicies+3]),
+				"harp-noscaling": factorOf(cfs, runs[s*nPolicies+4]),
+			},
+		})
 	}
 
 	for _, label := range Fig6Labels {
@@ -117,60 +168,6 @@ func Fig6(cfg Config) (*Fig6Result, error) {
 		res.GeoMulti[label] = geoMeanFactors(multi)
 	}
 	return res, nil
-}
-
-// fig6Scenario measures one scenario under every manager.
-func fig6Scenario(sc harpsim.Scenario, offline map[string]*opoint.Table, cfg Config, multi bool) (*Fig6Row, error) {
-	base := harpsim.Options{Seed: cfg.Seed, Governor: sim.GovernorPowersave}
-
-	cfs, err := harpsim.Run(sc, withPolicy(base, harpsim.PolicyCFS))
-	if err != nil {
-		return nil, err
-	}
-	row := &Fig6Row{
-		Scenario:       sc.Name,
-		Multi:          multi,
-		CFSMakespanSec: cfs.MakespanSec,
-		CFSEnergyJ:     cfs.EnergyJ,
-		Factors:        make(map[string]Factor, len(Fig6Labels)),
-	}
-
-	itd, err := harpsim.Run(sc, withPolicy(base, harpsim.PolicyITD))
-	if err != nil {
-		return nil, err
-	}
-	row.Factors["itd"] = factorOf(cfs, itd)
-
-	// HARP with stable operating points learned online (§6.3: behaviour
-	// during learning is Fig. 8's subject).
-	learned, err := harpsim.LearnTables(sc, cfg.LearnFor, 0, base)
-	if err != nil {
-		return nil, err
-	}
-	harpOpts := withPolicy(base, harpsim.PolicyHARP)
-	harpOpts.OfflineTables = learned.Tables
-	harp, err := harpsim.Run(sc, harpOpts)
-	if err != nil {
-		return nil, err
-	}
-	row.Factors["harp"] = factorOf(cfs, harp)
-
-	offOpts := withPolicy(base, harpsim.PolicyHARPOffline)
-	offOpts.OfflineTables = offline
-	off, err := harpsim.Run(sc, offOpts)
-	if err != nil {
-		return nil, err
-	}
-	row.Factors["harp-offline"] = factorOf(cfs, off)
-
-	nsOpts := withPolicy(base, harpsim.PolicyHARPNoScaling)
-	nsOpts.OfflineTables = offline
-	ns, err := harpsim.Run(sc, nsOpts)
-	if err != nil {
-		return nil, err
-	}
-	row.Factors["harp-noscaling"] = factorOf(cfs, ns)
-	return row, nil
 }
 
 func withPolicy(o harpsim.Options, p harpsim.Policy) harpsim.Options {

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"github.com/harp-rm/harp/harpsim"
+	"github.com/harp-rm/harp/internal/parallel"
 	"github.com/harp-rm/harp/internal/platform"
 	"github.com/harp-rm/harp/internal/sim"
 	"github.com/harp-rm/harp/internal/workload"
@@ -62,43 +63,54 @@ func Fig7(cfg Config) (*Fig7Result, error) {
 		multis = [][]string{{"cg.A", "mg.A"}}
 	}
 
-	offline := harpsim.OfflineDSETables(plat, suite)
+	offline := harpsim.OfflineDSETablesParallel(plat, suite, cfg.Parallelism)
 	base := harpsim.Options{Seed: cfg.Seed, Governor: sim.GovernorSchedutil}
 
-	res := &Fig7Result{}
-	run := func(names []string, multi bool) error {
+	type scMeta struct {
+		sc    harpsim.Scenario
+		multi bool
+	}
+	var metas []scMeta
+	for _, name := range singles {
+		sc, err := scenarioOf(plat, suite, name)
+		if err != nil {
+			return nil, err
+		}
+		metas = append(metas, scMeta{sc, false})
+	}
+	for _, names := range multis {
 		sc, err := scenarioOf(plat, suite, names...)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		eas, err := harpsim.Run(sc, withPolicy(base, harpsim.PolicyEAS))
-		if err != nil {
-			return err
+		metas = append(metas, scMeta{sc, true})
+	}
+
+	// Scenario × policy units (EAS baseline, HARP offline), merged in
+	// submission order.
+	runs, err := parallel.Map(cfg.Parallelism, len(metas)*2, func(u int) (*harpsim.Result, error) {
+		m := metas[u/2]
+		if u%2 == 0 {
+			return harpsim.Run(m.sc, withPolicy(base, harpsim.PolicyEAS))
 		}
-		harpOpts := withPolicy(base, harpsim.PolicyHARPOffline)
-		harpOpts.OfflineTables = offline
-		harp, err := harpsim.Run(sc, harpOpts)
-		if err != nil {
-			return err
-		}
+		opts := withPolicy(base, harpsim.PolicyHARPOffline)
+		opts.OfflineTables = offline
+		return harpsim.Run(m.sc, opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Fig7Result{}
+	for s, m := range metas {
+		eas, harp := runs[2*s], runs[2*s+1]
 		res.Rows = append(res.Rows, Fig7Row{
-			Scenario:    sc.Name,
-			Multi:       multi,
+			Scenario:    m.sc.Name,
+			Multi:       m.multi,
 			EASMakespan: eas.MakespanSec,
 			EASEnergyJ:  eas.EnergyJ,
 			Factor:      factorOf(eas, harp),
 		})
-		return nil
-	}
-	for _, name := range singles {
-		if err := run([]string{name}, false); err != nil {
-			return nil, err
-		}
-	}
-	for _, names := range multis {
-		if err := run(names, true); err != nil {
-			return nil, err
-		}
 	}
 
 	var single, multi []Factor

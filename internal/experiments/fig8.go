@@ -7,6 +7,7 @@ import (
 
 	"github.com/harp-rm/harp/harpsim"
 	"github.com/harp-rm/harp/internal/mathx"
+	"github.com/harp-rm/harp/internal/parallel"
 	"github.com/harp-rm/harp/internal/platform"
 	"github.com/harp-rm/harp/internal/workload"
 )
@@ -67,29 +68,87 @@ func Fig8(cfg Config) (*Fig8Result, error) {
 		multis = [][]string{{"cg.C", "mg.C"}}
 	}
 
-	res := &Fig8Result{}
-	run := func(names []string, multi bool) error {
-		sc, err := scenarioOf(plat, suite, names...)
-		if err != nil {
-			return err
-		}
-		row, err := fig8Scenario(sc, cfg, multi)
-		if err != nil {
-			return err
-		}
-		res.Scenarios = append(res.Scenarios, *row)
-		return nil
+	type scMeta struct {
+		sc    harpsim.Scenario
+		multi bool
 	}
+	var metas []scMeta
 	for _, name := range singles {
-		if err := run([]string{name}, false); err != nil {
+		sc, err := scenarioOf(plat, suite, name)
+		if err != nil {
 			return nil, err
 		}
+		metas = append(metas, scMeta{sc, false})
 	}
 	for _, names := range multis {
-		if err := run(names, true); err != nil {
+		sc, err := scenarioOf(plat, suite, names...)
+		if err != nil {
 			return nil, err
 		}
+		metas = append(metas, scMeta{sc, true})
 	}
+
+	base := harpsim.Options{Seed: cfg.Seed}
+
+	// Phase 1 — per scenario: the CFS baseline and the learning run with 5 s
+	// snapshots (the snapshots feed phase 2).
+	type prep struct {
+		cfs *harpsim.Result
+		lr  *harpsim.LearnResult
+	}
+	preps, err := parallel.Map(cfg.Parallelism, len(metas), func(s int) (prep, error) {
+		cfs, err := harpsim.Run(metas[s].sc, withPolicy(base, harpsim.PolicyCFS))
+		if err != nil {
+			return prep{}, err
+		}
+		lr, err := harpsim.LearnTables(metas[s].sc, cfg.LearnFor, 5*time.Second, base)
+		if err != nil {
+			return prep{}, err
+		}
+		return prep{cfs, lr}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2 — replay every (scenario, snapshot) with the knowledge HARP had
+	// at that instant. The units are flattened across scenarios for load
+	// balance; factors are assembled back in snapshot order below.
+	type replayKey struct{ s, snap int }
+	var keys []replayKey
+	for s, p := range preps {
+		for i := range p.lr.Snapshots {
+			keys = append(keys, replayKey{s, i})
+		}
+	}
+	replays, err := parallel.Map(cfg.Parallelism, len(keys), func(u int) (*harpsim.Result, error) {
+		k := keys[u]
+		opts := withPolicy(base, harpsim.PolicyHARPOffline)
+		opts.OfflineTables = preps[k.s].lr.Snapshots[k.snap].Tables
+		return harpsim.Run(metas[k.s].sc, opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Fig8Result{}
+	rows := make([]Fig8Scenario, len(metas))
+	for s, m := range metas {
+		rows[s] = Fig8Scenario{
+			Scenario:       m.sc.Name,
+			Multi:          m.multi,
+			StableAfterSec: preps[s].lr.StableAfterSec,
+		}
+	}
+	for u, k := range keys {
+		snap := preps[k.s].lr.Snapshots[k.snap]
+		rows[k.s].Points = append(rows[k.s].Points, Fig8Point{
+			AtSec:     snap.AtSec,
+			AllStable: snap.AllStable,
+			Factor:    factorOf(preps[k.s].cfs, replays[u]),
+		})
+	}
+	res.Scenarios = rows
 
 	var single, multi []float64
 	for _, s := range res.Scenarios {
@@ -105,40 +164,6 @@ func Fig8(cfg Config) (*Fig8Result, error) {
 	res.SingleStableMean, res.SingleStableStd = mathx.Mean(single), mathx.StdDev(single)
 	res.MultiStableMean, res.MultiStableStd = mathx.Mean(multi), mathx.StdDev(multi)
 	return res, nil
-}
-
-// fig8Scenario learns with 5 s snapshots, then replays the scenario with
-// each snapshot's knowledge to obtain the per-snapshot improvement factors.
-func fig8Scenario(sc harpsim.Scenario, cfg Config, multi bool) (*Fig8Scenario, error) {
-	base := harpsim.Options{Seed: cfg.Seed}
-
-	cfs, err := harpsim.Run(sc, withPolicy(base, harpsim.PolicyCFS))
-	if err != nil {
-		return nil, err
-	}
-	lr, err := harpsim.LearnTables(sc, cfg.LearnFor, 5*time.Second, base)
-	if err != nil {
-		return nil, err
-	}
-	row := &Fig8Scenario{
-		Scenario:       sc.Name,
-		Multi:          multi,
-		StableAfterSec: lr.StableAfterSec,
-	}
-	for _, snap := range lr.Snapshots {
-		opts := withPolicy(base, harpsim.PolicyHARPOffline)
-		opts.OfflineTables = snap.Tables
-		run, err := harpsim.Run(sc, opts)
-		if err != nil {
-			return nil, err
-		}
-		row.Points = append(row.Points, Fig8Point{
-			AtSec:     snap.AtSec,
-			AllStable: snap.AllStable,
-			Factor:    factorOf(cfs, run),
-		})
-	}
-	return row, nil
 }
 
 // Format writes the Fig. 8 summary.

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"github.com/harp-rm/harp/harpsim"
+	"github.com/harp-rm/harp/internal/parallel"
 	"github.com/harp-rm/harp/internal/platform"
 	"github.com/harp-rm/harp/internal/sim"
 	"github.com/harp-rm/harp/internal/workload"
@@ -36,50 +37,67 @@ func Governor(cfg Config) (*GovernorResult, error) {
 	if cfg.Quick {
 		scenarios = [][]string{{"mg.C"}, {"cg.C", "mg.C"}}
 	}
-	offline := harpsim.OfflineDSETables(plat, suite)
-	governors := map[string]sim.Governor{
+	offline := harpsim.OfflineDSETablesParallel(plat, suite, cfg.Parallelism)
+	govNames := []string{"powersave", "performance"}
+	govs := map[string]sim.Governor{
 		"powersave":   sim.GovernorPowersave,
 		"performance": sim.GovernorPerformance,
+	}
+
+	scs := make([]harpsim.Scenario, len(scenarios))
+	for i, names := range scenarios {
+		sc, err := scenarioOf(plat, suite, names...)
+		if err != nil {
+			return nil, err
+		}
+		scs[i] = sc
+	}
+
+	// Governor × scenario units; each runs its own CFS baseline, the
+	// learn-then-run HARP chain, and HARP (Offline).
+	type pair struct{ harp, off Factor }
+	units, err := parallel.Map(cfg.Parallelism, len(govNames)*len(scs), func(u int) (pair, error) {
+		sc := scs[u%len(scs)]
+		base := harpsim.Options{Seed: cfg.Seed, Governor: govs[govNames[u/len(scs)]]}
+		cfs, err := harpsim.Run(sc, withPolicy(base, harpsim.PolicyCFS))
+		if err != nil {
+			return pair{}, err
+		}
+		lr, err := harpsim.LearnTables(sc, cfg.LearnFor, 0, base)
+		if err != nil {
+			return pair{}, err
+		}
+		harpOpts := withPolicy(base, harpsim.PolicyHARP)
+		harpOpts.OfflineTables = lr.Tables
+		harp, err := harpsim.Run(sc, harpOpts)
+		if err != nil {
+			return pair{}, err
+		}
+		offOpts := withPolicy(base, harpsim.PolicyHARPOffline)
+		offOpts.OfflineTables = offline
+		off, err := harpsim.Run(sc, offOpts)
+		if err != nil {
+			return pair{}, err
+		}
+		return pair{harp: factorOf(cfs, harp), off: factorOf(cfs, off)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	res := &GovernorResult{Factors: map[string]map[string]Factor{
 		"harp":         make(map[string]Factor),
 		"harp-offline": make(map[string]Factor),
 	}}
-	for govName, gov := range governors {
+	for _, sc := range scs {
+		res.Scenarios = append(res.Scenarios, sc.Name)
+	}
+	for g, govName := range govNames {
 		var harpFactors, offFactors []Factor
-		for _, names := range scenarios {
-			sc, err := scenarioOf(plat, suite, names...)
-			if err != nil {
-				return nil, err
-			}
-			if govName == "powersave" {
-				res.Scenarios = append(res.Scenarios, sc.Name)
-			}
-			base := harpsim.Options{Seed: cfg.Seed, Governor: gov}
-			cfs, err := harpsim.Run(sc, withPolicy(base, harpsim.PolicyCFS))
-			if err != nil {
-				return nil, err
-			}
-			lr, err := harpsim.LearnTables(sc, cfg.LearnFor, 0, base)
-			if err != nil {
-				return nil, err
-			}
-			harpOpts := withPolicy(base, harpsim.PolicyHARP)
-			harpOpts.OfflineTables = lr.Tables
-			harp, err := harpsim.Run(sc, harpOpts)
-			if err != nil {
-				return nil, err
-			}
-			harpFactors = append(harpFactors, factorOf(cfs, harp))
-
-			offOpts := withPolicy(base, harpsim.PolicyHARPOffline)
-			offOpts.OfflineTables = offline
-			off, err := harpsim.Run(sc, offOpts)
-			if err != nil {
-				return nil, err
-			}
-			offFactors = append(offFactors, factorOf(cfs, off))
+		for s := range scs {
+			u := units[g*len(scs)+s]
+			harpFactors = append(harpFactors, u.harp)
+			offFactors = append(offFactors, u.off)
 		}
 		res.Factors["harp"][govName] = geoMeanFactors(harpFactors)
 		res.Factors["harp-offline"][govName] = geoMeanFactors(offFactors)

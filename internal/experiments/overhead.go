@@ -6,6 +6,7 @@ import (
 
 	"github.com/harp-rm/harp/harpsim"
 	"github.com/harp-rm/harp/internal/mathx"
+	"github.com/harp-rm/harp/internal/parallel"
 	"github.com/harp-rm/harp/internal/platform"
 	"github.com/harp-rm/harp/internal/workload"
 )
@@ -46,38 +47,48 @@ func Overhead(cfg Config) (*OverheadResult, error) {
 		multis = [][]string{{"cg.C", "mg.C", "ft.C"}}
 	}
 
-	res := &OverheadResult{}
-	run := func(names []string, multi bool) error {
+	type scMeta struct {
+		sc    harpsim.Scenario
+		multi bool
+	}
+	var metas []scMeta
+	for _, name := range singles {
+		sc, err := scenarioOf(plat, suite, name)
+		if err != nil {
+			return nil, err
+		}
+		metas = append(metas, scMeta{sc, false})
+	}
+	for _, names := range multis {
 		sc, err := scenarioOf(plat, suite, names...)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		base := harpsim.Options{Seed: cfg.Seed}
-		cfs, err := harpsim.Run(sc, withPolicy(base, harpsim.PolicyCFS))
-		if err != nil {
-			return err
+		metas = append(metas, scMeta{sc, true})
+	}
+
+	// Scenario × policy units (CFS baseline, HARP with adaptation dropped).
+	base := harpsim.Options{Seed: cfg.Seed}
+	runs, err := parallel.Map(cfg.Parallelism, len(metas)*2, func(u int) (*harpsim.Result, error) {
+		sc := metas[u/2].sc
+		if u%2 == 0 {
+			return harpsim.Run(sc, withPolicy(base, harpsim.PolicyCFS))
 		}
-		ovh, err := harpsim.Run(sc, withPolicy(base, harpsim.PolicyHARPOverhead))
-		if err != nil {
-			return err
-		}
+		return harpsim.Run(sc, withPolicy(base, harpsim.PolicyHARPOverhead))
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &OverheadResult{}
+	for s, m := range metas {
+		cfs, ovh := runs[2*s], runs[2*s+1]
 		res.Rows = append(res.Rows, OverheadRow{
-			Scenario:        sc.Name,
-			Multi:           multi,
+			Scenario:        m.sc.Name,
+			Multi:           m.multi,
 			CFSMakespanSec:  cfs.MakespanSec,
 			OverheadPercent: 100 * (ovh.MakespanSec/cfs.MakespanSec - 1),
 		})
-		return nil
-	}
-	for _, name := range singles {
-		if err := run([]string{name}, false); err != nil {
-			return nil, err
-		}
-	}
-	for _, names := range multis {
-		if err := run(names, true); err != nil {
-			return nil, err
-		}
 	}
 
 	var single, multi []float64

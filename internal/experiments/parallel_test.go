@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// The experiment drivers promise bit-identical results at any parallelism
+// level: every scenario × policy × seed unit owns its machine and RNG
+// streams, and results are merged in submission order. These tests pin that
+// guarantee by comparing a strictly sequential run against a fanned-out one
+// with reflect.DeepEqual — exact float equality, not tolerances.
+
+func TestFig6ParallelismDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the quick Fig. 6 twice")
+	}
+	cfg := quickCfg()
+	cfg.LearnFor = 30 * time.Second
+
+	cfg.Parallelism = 1
+	seq, err := Fig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallelism = 4
+	par, err := Fig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(seq.Rows, par.Rows) {
+		t.Errorf("rows differ between parallelism 1 and 4:\nseq: %+v\npar: %+v", seq.Rows, par.Rows)
+	}
+	if !reflect.DeepEqual(seq.GeoSingle, par.GeoSingle) {
+		t.Errorf("single geomeans differ: %+v vs %+v", seq.GeoSingle, par.GeoSingle)
+	}
+	if !reflect.DeepEqual(seq.GeoMulti, par.GeoMulti) {
+		t.Errorf("multi geomeans differ: %+v vs %+v", seq.GeoMulti, par.GeoMulti)
+	}
+}
+
+func TestFig8ParallelismDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the quick Fig. 8 twice")
+	}
+	cfg := quickCfg()
+	cfg.LearnFor = 30 * time.Second
+
+	cfg.Parallelism = 1
+	seq, err := Fig8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallelism = 4
+	par, err := Fig8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(seq.Scenarios, par.Scenarios) {
+		t.Errorf("learning trajectories differ between parallelism 1 and 4:\nseq: %+v\npar: %+v",
+			seq.Scenarios, par.Scenarios)
+	}
+	for _, v := range [][2]float64{
+		{seq.SingleStableMean, par.SingleStableMean},
+		{seq.SingleStableStd, par.SingleStableStd},
+		{seq.MultiStableMean, par.MultiStableMean},
+		{seq.MultiStableStd, par.MultiStableStd},
+	} {
+		if v[0] != v[1] {
+			t.Errorf("stable-onset statistic differs: %v vs %v", v[0], v[1])
+		}
+	}
+}
+
+// TestFig1ParallelismDeterminism covers the pre-drawn-noise path: the shared
+// RNG stream is consumed sequentially before the fan-out, so the sweep must
+// be exactly reproducible.
+func TestFig1ParallelismDeterminism(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Parallelism = 1
+	seq, err := Fig1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallelism = 8
+	par, err := Fig1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Error("Fig. 1 sweep differs between parallelism 1 and 8")
+	}
+}

@@ -95,6 +95,14 @@ type Explorer struct {
 	samples    int
 	utilSum    float64
 	powerSum   float64
+
+	// predTable memoises PredictedTable for the table version it was built
+	// from: between new measurements the models, and hence the predictions,
+	// are unchanged, so the allocator can reuse the same table (and its
+	// memoised Pareto front) across reallocations.
+	predTable   *opoint.Table
+	predVersion uint64
+	predOK      bool
 }
 
 // New creates an explorer for the application on the given platform.
@@ -209,7 +217,23 @@ func (e *Explorer) Abort() { e.hasCurrent = false }
 // points plus model predictions for every unmeasured configuration on the
 // whole platform. During the initial stage (no usable model) only measured
 // points are returned.
+//
+// The result is memoised until the next measurement lands in the table, so
+// repeated calls (one per reallocation) return the same table; callers must
+// treat it as read-only.
 func (e *Explorer) PredictedTable() *opoint.Table {
+	if e.predOK && e.predVersion == e.table.Version() {
+		return e.predTable
+	}
+	out := e.predictedTable()
+	e.predTable = out
+	e.predVersion = e.table.Version()
+	e.predOK = true
+	return out
+}
+
+// predictedTable builds the prediction table uncached.
+func (e *Explorer) predictedTable() *opoint.Table {
 	out := e.table.Clone()
 	if e.Stage() == StageInitial {
 		return out

@@ -65,6 +65,8 @@ type Measurement struct {
 
 type appState struct {
 	last     sim.Counters
+	cur      sim.Counters // scratch snapshot, swapped with last after each sample
+	tByK     []float64    // per-kind busy-time delta scratch, reused per tick
 	ipsEMA   *mathx.EMA
 	powerEMA *mathx.EMA
 	totalJ   float64
@@ -84,6 +86,25 @@ type Monitor struct {
 	apps       map[sim.ProcID]*appState
 	lastEnergy sim.EnergyReading
 	lastTime   time.Duration
+
+	// Scratch buffers reused across Sample calls — sampling runs every 50 ms
+	// of virtual time for every tracked process, so the per-tick garbage adds
+	// up over a multi-minute simulated run.
+	idScratch       []sim.ProcID
+	deltaScratch    []sampleDelta
+	totalByKind     []float64
+	occupancyByKind []float64
+	perKindDyn      []float64
+	out             map[sim.ProcID]Measurement
+}
+
+// sampleDelta is the per-app scratch record built by Sample. The per-kind
+// busy-time delta lives on the appState so the slice is reused across ticks.
+type sampleDelta struct {
+	id   sim.ProcID
+	st   *appState
+	exec float64
+	used float64
 }
 
 // New creates a monitor for the machine. The power coefficients γ (Eq. 3)
@@ -177,31 +198,35 @@ func (m *Monitor) ResetSmoothing(id sim.ProcID) {
 // Sample reads all tracked processes since the previous call and returns
 // their measurements. It must be called at a fixed cadence (HARP uses 50 ms,
 // §5.3). Processes that exited since the last sample are skipped.
+//
+// The returned map is reused by the next Sample call — callers must consume
+// (or copy) it before sampling again. Every caller in this repo reads it
+// within the same control cycle.
 func (m *Monitor) Sample() map[sim.ProcID]Measurement {
 	now := m.machine.Now()
 	dt := (now - m.lastTime).Seconds()
 	energy := m.machine.Energy()
-	out := make(map[sim.ProcID]Measurement, len(m.apps))
+	if m.out == nil {
+		m.out = make(map[sim.ProcID]Measurement, len(m.apps))
+	} else {
+		clear(m.out)
+	}
+	out := m.out
 	if dt <= 0 {
 		return out
 	}
 
-	// Gather per-app busy-time deltas per kind.
-	type delta struct {
-		id   sim.ProcID
-		st   *appState
-		cur  sim.Counters
-		exec float64
-		used float64
-		tByK []float64
-	}
-	ids := make([]sim.ProcID, 0, len(m.apps))
+	// Gather per-app busy-time deltas per kind, in sorted-ID order — the
+	// jitter RNG is consumed per app, so the order is part of the
+	// deterministic results.
+	ids := m.idScratch[:0]
 	for id := range m.apps {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	m.idScratch = ids
 
-	var deltas []delta
+	deltas := m.deltaScratch[:0]
 	totalWeighted := 0.0 // Σ_k T_k·γ_k across tracked apps
 	for _, id := range ids {
 		st := m.apps[id]
@@ -209,21 +234,24 @@ func (m *Monitor) Sample() map[sim.ProcID]Measurement {
 		if err != nil {
 			continue // exited; Untrack reports the final energy
 		}
-		cur := p.Counters()
-		d := delta{
+		p.CountersInto(&st.cur)
+		d := sampleDelta{
 			id:   id,
 			st:   st,
-			cur:  cur,
-			exec: cur.ExecutedGI - st.last.ExecutedGI,
-			used: cur.UsefulGI - st.last.UsefulGI,
-			tByK: make([]float64, len(cur.CPUTimeByKind)),
+			exec: st.cur.ExecutedGI - st.last.ExecutedGI,
+			used: st.cur.UsefulGI - st.last.UsefulGI,
 		}
-		for k := range cur.CPUTimeByKind {
-			d.tByK[k] = cur.CPUTimeByKind[k] - st.last.CPUTimeByKind[k]
-			totalWeighted += d.tByK[k] * m.gamma[k]
+		if cap(st.tByK) < len(st.cur.CPUTimeByKind) {
+			st.tByK = make([]float64, len(st.cur.CPUTimeByKind))
+		}
+		st.tByK = st.tByK[:len(st.cur.CPUTimeByKind)]
+		for k := range st.cur.CPUTimeByKind {
+			st.tByK[k] = st.cur.CPUTimeByKind[k] - st.last.CPUTimeByKind[k]
+			totalWeighted += st.tByK[k] * m.gamma[k]
 		}
 		deltas = append(deltas, d)
 	}
+	m.deltaScratch = deltas
 
 	// Dynamic energy to distribute.
 	plat := m.machine.Platform()
@@ -233,14 +261,22 @@ func (m *Monitor) Sample() map[sim.ProcID]Measurement {
 	// of the cores kept out of deep idle by the tracked applications. Plain
 	// EnergAt would attribute this idle overhead to the applications; we
 	// subtract it so the attribution targets dynamic energy.
-	totalByKind := make([]float64, len(plat.Kinds))
+	if len(m.totalByKind) != len(plat.Kinds) {
+		m.totalByKind = make([]float64, len(plat.Kinds))
+		m.occupancyByKind = make([]float64, len(plat.Kinds))
+		m.perKindDyn = make([]float64, len(plat.Kinds))
+	}
+	totalByKind := m.totalByKind
+	for k := range totalByKind {
+		totalByKind[k] = 0
+	}
 	for _, d := range deltas {
-		for k, v := range d.tByK {
+		for k, v := range d.st.tByK {
 			totalByKind[k] += v
 		}
 	}
 	var occupancyJ float64
-	occupancyByKind := make([]float64, len(plat.Kinds))
+	occupancyByKind := m.occupancyByKind
 	for k, kind := range plat.Kinds {
 		coreSeconds := totalByKind[k] / float64(kind.SMT)
 		occupancyByKind[k] = (kind.IdleWatts - kind.SleepWatts) * coreSeconds
@@ -250,7 +286,7 @@ func (m *Monitor) Sample() map[sim.ProcID]Measurement {
 	if plat.EnergySensors == "island" {
 		// Per-island sensors: attribute each island's dynamic energy by
 		// busy-time share within that island.
-		perKindDyn := make([]float64, len(plat.Kinds))
+		perKindDyn := m.perKindDyn
 		for k := range plat.Kinds {
 			staticK := float64(plat.Kinds[k].Count)*plat.Kinds[k].SleepWatts*dt + occupancyByKind[k]
 			dyn := (energy.ByKindJ[k] - m.lastEnergy.ByKindJ[k]) - staticK
@@ -261,12 +297,12 @@ func (m *Monitor) Sample() map[sim.ProcID]Measurement {
 		}
 		for _, d := range deltas {
 			var joules float64
-			for k, tk := range d.tByK {
+			for k, tk := range d.st.tByK {
 				if totalByKind[k] > 0 {
 					joules += perKindDyn[k] * tk / totalByKind[k]
 				}
 			}
-			out[d.id] = m.finish(d.st, d.cur, d.exec, d.used, joules, dt, multiplex)
+			out[d.id] = m.finish(d.st, d.exec, d.used, joules, dt, multiplex)
 		}
 	} else {
 		// Package counter: split E_dyn into per-kind shares via the power
@@ -281,10 +317,10 @@ func (m *Monitor) Sample() map[sim.ProcID]Measurement {
 		}
 		for _, d := range deltas {
 			var joules float64
-			for k, tk := range d.tByK {
+			for k, tk := range d.st.tByK {
 				joules += tk * m.gamma[k] * pBase
 			}
-			out[d.id] = m.finish(d.st, d.cur, d.exec, d.used, joules, dt, multiplex)
+			out[d.id] = m.finish(d.st, d.exec, d.used, joules, dt, multiplex)
 		}
 	}
 
@@ -294,9 +330,10 @@ func (m *Monitor) Sample() map[sim.ProcID]Measurement {
 }
 
 // finish applies measurement noise and smoothing, updates state, and builds
-// the Measurement.
-func (m *Monitor) finish(st *appState, cur sim.Counters, exec, used, joules, dt, multiplex float64) Measurement {
-	st.last = cur
+// the Measurement. The current snapshot in st.cur becomes st.last by buffer
+// swap, so neither side allocates on the next tick.
+func (m *Monitor) finish(st *appState, exec, used, joules, dt, multiplex float64) Measurement {
+	st.last, st.cur = st.cur, st.last
 	st.totalJ += joules
 
 	ips := exec / dt * m.jitter(multiplex)

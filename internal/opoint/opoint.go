@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"github.com/harp-rm/harp/internal/platform"
 )
@@ -46,6 +47,14 @@ func (o OperatingPoint) Cost(maxUtility float64) float64 {
 }
 
 // Table is an application's set of operating points.
+//
+// The table memoises derived data (the runtime Pareto front, v*, validation)
+// because the allocator re-derives them on every reallocation — the dominant
+// cost of a simulated HARP run. All mutations must go through Upsert/Sort, or
+// call Invalidate after modifying Points directly; see DESIGN.md
+// ("Pareto-cache invariant"). Tables must not be mutated while another
+// goroutine reads them, but concurrent read-only use (including ParetoPoints)
+// is safe.
 type Table struct {
 	// App names the application the table belongs to.
 	App string `json:"app"`
@@ -53,13 +62,65 @@ type Table struct {
 	Platform string `json:"platform"`
 	// Points holds the operating points in no particular order.
 	Points []OperatingPoint `json:"points"`
+
+	// mu guards the memoised derived state below.
+	mu sync.Mutex
+	// version counts mutations; derived caches are keyed on it.
+	version uint64
+	// front is the cached runtime Pareto front; frontLen detects direct
+	// appends to Points that bypassed Upsert/Invalidate.
+	front    []OperatingPoint
+	frontOK  bool
+	frontLen int
+	// maxUtility caches MaxUtility.
+	maxUtility    float64
+	maxUtilityOK  bool
+	maxUtilityLen int
+	// validatedFor remembers the platform name the table last validated
+	// cleanly against.
+	validatedFor string
+	validatedOK  bool
+	validatedLen int
 }
 
-// Validate checks the table against a platform description.
+// Invalidate drops every memoised derived value. Callers that modify Points
+// directly (rather than through Upsert) must call it before the next
+// ParetoPoints/MaxUtility/Validate, otherwise stale caches may be served.
+// Length changes are detected automatically; in-place edits are not.
+func (t *Table) Invalidate() {
+	t.mu.Lock()
+	t.bumpLocked()
+	t.mu.Unlock()
+}
+
+// bumpLocked invalidates all caches; t.mu must be held.
+func (t *Table) bumpLocked() {
+	t.version++
+	t.frontOK = false
+	t.maxUtilityOK = false
+	t.validatedOK = false
+}
+
+// Version returns the table's mutation counter — callers (e.g. the runtime
+// explorer) use it to memoise their own derived structures.
+func (t *Table) Version() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.version
+}
+
+// Validate checks the table against a platform description. A clean result
+// is memoised per platform name until the table changes.
 func (t *Table) Validate(p *platform.Platform) error {
 	if t.App == "" {
 		return errors.New("opoint: table without application name")
 	}
+	t.mu.Lock()
+	if t.validatedOK && t.validatedFor == p.Name && t.validatedLen == len(t.Points) {
+		t.mu.Unlock()
+		return nil
+	}
+	t.mu.Unlock()
 	for i, op := range t.Points {
 		if err := op.Vector.Validate(p); err != nil {
 			return fmt.Errorf("opoint: %s point %d: %w", t.App, i, err)
@@ -69,17 +130,30 @@ func (t *Table) Validate(p *platform.Platform) error {
 				t.App, i, op.Utility, op.Power)
 		}
 	}
+	t.mu.Lock()
+	t.validatedOK = true
+	t.validatedFor = p.Name
+	t.validatedLen = len(t.Points)
+	t.mu.Unlock()
 	return nil
 }
 
 // MaxUtility returns v*, the maximum utility across the table (0 if empty).
 func (t *Table) MaxUtility() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.maxUtilityOK && t.maxUtilityLen == len(t.Points) {
+		return t.maxUtility
+	}
 	var max float64
 	for _, op := range t.Points {
 		if op.Utility > max {
 			max = op.Utility
 		}
 	}
+	t.maxUtility = max
+	t.maxUtilityOK = true
+	t.maxUtilityLen = len(t.Points)
 	return max
 }
 
@@ -95,6 +169,7 @@ func (t *Table) Lookup(rv platform.ResourceVector) (OperatingPoint, bool) {
 
 // Upsert inserts the point or replaces an existing one with the same vector.
 func (t *Table) Upsert(op OperatingPoint) {
+	defer t.Invalidate()
 	for i := range t.Points {
 		if t.Points[i].Vector.Equal(op.Vector) {
 			t.Points[i] = op
@@ -115,11 +190,14 @@ func (t *Table) MeasuredCount() int {
 	return n
 }
 
-// Sort orders points deterministically by vector key.
+// Sort orders points deterministically by vector key. Order matters to the
+// memoised Pareto front (duplicate-objective ties keep the earliest point),
+// so sorting invalidates the caches.
 func (t *Table) Sort() {
 	sort.Slice(t.Points, func(i, j int) bool {
 		return t.Points[i].Vector.Key() < t.Points[j].Vector.Key()
 	})
+	t.Invalidate()
 }
 
 // Clone returns a deep copy of the table.
@@ -231,7 +309,17 @@ func RuntimeObjectives(op OperatingPoint) []float64 {
 	return objs
 }
 
-// ParetoPoints filters the table down to its runtime Pareto front.
+// ParetoPoints filters the table down to its runtime Pareto front. The front
+// is memoised until the table changes; callers must treat the returned slice
+// as read-only (the allocator and harpctl only iterate it).
 func (t *Table) ParetoPoints() []OperatingPoint {
-	return Pareto(t.Points, RuntimeObjectives)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.frontOK && t.frontLen == len(t.Points) {
+		return t.front
+	}
+	t.front = Pareto(t.Points, RuntimeObjectives)
+	t.frontOK = true
+	t.frontLen = len(t.Points)
+	return t.front
 }

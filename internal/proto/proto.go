@@ -88,9 +88,10 @@ type RegisterAck struct {
 }
 
 // OperatingPoints uploads an application description's points (§4.1.1
-// step 2).
+// step 2). The table travels by pointer: opoint.Table guards its memoised
+// derived state with a mutex and must not be copied by value.
 type OperatingPoints struct {
-	Table opoint.Table `json:"table"`
+	Table *opoint.Table `json:"table"`
 }
 
 // CoreGrant mirrors alloc.CoreGrant on the wire.

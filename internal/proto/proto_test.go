@@ -67,7 +67,7 @@ func TestRoundTripOperatingPoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tbl := opoint.Table{App: "ep.C", Platform: p.Name}
+	tbl := &opoint.Table{App: "ep.C", Platform: p.Name}
 	tbl.Upsert(opoint.OperatingPoint{Vector: rv, Utility: 100, Power: 42, Measured: true})
 
 	var buf bytes.Buffer

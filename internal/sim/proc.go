@@ -76,6 +76,21 @@ func (p *Proc) Counters() Counters {
 	return c
 }
 
+// CountersInto copies the accumulated execution metrics into c, reusing its
+// CPUTimeByKind slice when it has sufficient capacity. The monitor's 50 ms
+// sampling path reads every tracked process on every tick; this variant
+// keeps that path allocation-free.
+func (p *Proc) CountersInto(c *Counters) {
+	byKind := c.CPUTimeByKind
+	if cap(byKind) < len(p.counters.CPUTimeByKind) {
+		byKind = make([]float64, len(p.counters.CPUTimeByKind))
+	}
+	byKind = byKind[:len(p.counters.CPUTimeByKind)]
+	copy(byKind, p.counters.CPUTimeByKind)
+	*c = p.counters
+	c.CPUTimeByKind = byKind
+}
+
 // view builds the scheduler-visible summary.
 func (p *Proc) view() ProcView {
 	return ProcView{
