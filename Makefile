@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race bench bench-parallel
+.PHONY: build test check race bench bench-parallel trace-demo
 
 build:
 	$(GO) build ./...
@@ -26,3 +26,10 @@ bench:
 # bit-identical metrics.
 bench-parallel:
 	$(GO) test -bench 'BenchmarkFigure6(Sequential|Parallel)$$' -benchtime 1x -run '^$$' .
+
+# trace-demo runs the Fig. 1 applications under HARP and leaves behind a
+# sample Chrome trace (open harp.trace.json in https://ui.perfetto.dev) and
+# the matching per-epoch decision journal. See OBSERVABILITY.md.
+trace-demo:
+	$(GO) run ./cmd/harp-sim run -platform intel -apps ep.C,mg.C \
+		-policy harp-offline -trace harp.trace.json -journal harp.journal.jsonl

@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	harp-sim run -platform intel -apps mg.C,cg.C -policy harp-offline
+//	harp-sim run -platform intel -apps mg.C,cg.C -policy harp-offline \
+//	             [-trace run.trace.json] [-journal run.journal.jsonl]
 //	harp-sim experiment fig6 [-quick] [-seed 1]
 //	harp-sim list
 //
@@ -23,6 +24,7 @@ import (
 	"github.com/harp-rm/harp/harpsim"
 	"github.com/harp-rm/harp/internal/experiments"
 	"github.com/harp-rm/harp/internal/platform"
+	"github.com/harp-rm/harp/internal/telemetry"
 	"github.com/harp-rm/harp/internal/workload"
 )
 
@@ -64,11 +66,13 @@ func listWorkloads(out io.Writer) error {
 func runScenario(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("harp-sim run", flag.ContinueOnError)
 	var (
-		platName = fs.String("platform", "intel", "intel or odroid")
-		appsFlag = fs.String("apps", "", "comma-separated application names")
-		polName  = fs.String("policy", "cfs", "cfs|eas|itd|harp|harp-offline|harp-noscaling|harp-overhead")
-		seed     = fs.Int64("seed", 1, "noise seed")
-		timeline = fs.Bool("timeline", false, "print every applied allocation decision (HARP policies)")
+		platName  = fs.String("platform", "intel", "intel or odroid")
+		appsFlag  = fs.String("apps", "", "comma-separated application names")
+		polName   = fs.String("policy", "cfs", "cfs|eas|itd|harp|harp-offline|harp-noscaling|harp-overhead")
+		seed      = fs.Int64("seed", 1, "noise seed")
+		timeline  = fs.Bool("timeline", false, "print every applied allocation decision (HARP policies)")
+		traceFile = fs.String("trace", "", "write a Chrome trace_event JSON of the run (open in Perfetto)")
+		journFile = fs.String("journal", "", "write the per-epoch decision journal (JSONL) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -101,9 +105,47 @@ func runScenario(args []string, out io.Writer) error {
 	if policy.IsHARP() {
 		opts.OfflineTables = harpsim.OfflineDSETables(plat, suite)
 	}
+	if *traceFile != "" {
+		// Large enough that typical scenario runs keep every event.
+		opts.Tracer = telemetry.NewTracer(1 << 20)
+	}
+	var journalOut *os.File
+	if *journFile != "" {
+		f, err := os.Create(*journFile)
+		if err != nil {
+			return err
+		}
+		journalOut = f
+		defer f.Close()
+		opts.Journal = telemetry.NewJournal(f)
+	}
 	res, err := harpsim.Run(sc, opts)
 	if err != nil {
 		return err
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return err
+		}
+		if err := opts.Tracer.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "trace     : %s (%d events", *traceFile, opts.Tracer.Total())
+		if d := opts.Tracer.Dropped(); d > 0 {
+			fmt.Fprintf(out, ", oldest %d evicted", d)
+		}
+		fmt.Fprintln(out, ")")
+	}
+	if journalOut != nil {
+		if err := opts.Journal.Err(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "journal   : %s (%d epochs)\n", *journFile, opts.Journal.Epochs())
 	}
 	fmt.Fprintf(out, "scenario  : %s on %s under %s\n", sc.Name, plat.Name, policy)
 	fmt.Fprintf(out, "makespan  : %.3f s\n", res.MakespanSec)

@@ -2,8 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/harp-rm/harp/internal/telemetry"
 )
 
 func TestRunRequiresCommand(t *testing.T) {
@@ -51,6 +56,48 @@ func TestRunScenarioHARPOnOdroid(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "harp-offline") {
 		t.Errorf("output missing policy: %s", buf.String())
+	}
+}
+
+func TestRunScenarioWithTraceAndJournal(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "run.trace.json")
+	journalPath := filepath.Join(dir, "run.journal.jsonl")
+	var buf bytes.Buffer
+	err := run([]string{"run", "-platform", "intel", "-apps", "mg.C", "-policy", "harp-offline",
+		"-trace", tracePath, "-journal", journalPath}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"trace", "journal", "epochs", "makespan"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, buf.String())
+		}
+	}
+
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(raw, &events); err != nil {
+		t.Fatalf("trace file is not a trace_event array: %v", err)
+	}
+	if len(events) == 0 {
+		t.Error("trace file is empty")
+	}
+
+	jf, err := os.Open(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jf.Close()
+	epochs, err := telemetry.ReadJournal(jf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(epochs) == 0 {
+		t.Error("journal file has no epochs")
 	}
 }
 

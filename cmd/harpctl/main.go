@@ -1,11 +1,15 @@
-// Command harpctl inspects a running harpd: it lists registered sessions and
-// dumps learned operating-point tables, the way an administrator would
-// inspect /etc/harp state (§4.3).
+// Command harpctl inspects a running harpd: it lists registered sessions,
+// shows their live utility/power and standing allocations, dumps learned
+// operating-point tables, and tails the daemon's adaptation-loop trace — the
+// way an administrator would inspect /etc/harp state (§4.3).
 //
 // Usage:
 //
 //	harpctl [-control /tmp/harpctl.sock] sessions
+//	harpctl [-control /tmp/harpctl.sock] status
 //	harpctl [-control /tmp/harpctl.sock] table <instance>
+//	harpctl [-control /tmp/harpctl.sock] trace tail [n]
+//	harpctl [-control /tmp/harpctl.sock] trace dump
 package main
 
 import (
@@ -16,7 +20,11 @@ import (
 	"io"
 	"net"
 	"os"
+	"strconv"
+	"time"
 )
+
+const usage = "usage: harpctl [-control PATH] sessions | status | table <instance> | trace tail [n] | trace dump"
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -33,17 +41,42 @@ func run(args []string, out io.Writer) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return errors.New("usage: harpctl [-control PATH] sessions | table <instance>")
+		return errors.New(usage)
 	}
 
-	req := map[string]string{"op": rest[0]}
+	req := map[string]any{"op": rest[0]}
+	render := renderJSON
 	switch rest[0] {
 	case "sessions":
+	case "status":
+		req["op"] = "sessions"
+		render = renderStatus
 	case "table":
 		if len(rest) != 2 {
 			return errors.New("usage: harpctl table <instance>")
 		}
 		req["instance"] = rest[1]
+	case "trace":
+		if len(rest) < 2 {
+			return errors.New("usage: harpctl trace tail [n] | trace dump")
+		}
+		switch rest[1] {
+		case "tail":
+			n := 20
+			if len(rest) == 3 {
+				v, err := strconv.Atoi(rest[2])
+				if err != nil || v <= 0 {
+					return fmt.Errorf("trace tail: bad count %q", rest[2])
+				}
+				n = v
+			}
+			req["n"] = n
+			render = renderTrace
+		case "dump":
+			req["n"] = 0
+		default:
+			return fmt.Errorf("unknown trace subcommand %q", rest[1])
+		}
 	default:
 		return fmt.Errorf("unknown command %q", rest[0])
 	}
@@ -63,10 +96,92 @@ func run(args []string, out io.Writer) error {
 	if errMsg, ok := resp["error"]; ok {
 		return fmt.Errorf("harpd: %s", errMsg)
 	}
+	return render(out, resp)
+}
+
+func renderJSON(out io.Writer, resp map[string]json.RawMessage) error {
 	pretty, err := json.MarshalIndent(resp, "", "  ")
 	if err != nil {
 		return err
 	}
 	fmt.Fprintln(out, string(pretty))
+	return nil
+}
+
+// renderStatus prints the per-session utility/power/allocation table behind
+// `harpctl status`.
+func renderStatus(out io.Writer, resp map[string]json.RawMessage) error {
+	var sessions []struct {
+		Instance  string
+		App       string
+		Stage     string
+		Phase     string
+		Utility   float64
+		Power     float64
+		Vector    string
+		Threads   int
+		Cores     int
+		Exploring bool
+	}
+	if err := json.Unmarshal(resp["sessions"], &sessions); err != nil {
+		return err
+	}
+	if len(sessions) == 0 {
+		fmt.Fprintln(out, "no sessions")
+		return nil
+	}
+	fmt.Fprintf(out, "%-22s %-14s %-11s %10s %9s  %-12s %7s %5s\n",
+		"INSTANCE", "APP", "STAGE", "UTILITY", "POWER[W]", "VECTOR", "THREADS", "CORES")
+	for _, s := range sessions {
+		stage := s.Stage
+		if s.Exploring {
+			stage += "*"
+		}
+		vector := s.Vector
+		if vector == "" {
+			vector = "-"
+		}
+		fmt.Fprintf(out, "%-22s %-14s %-11s %10.1f %9.1f  %-12s %7d %5d\n",
+			s.Instance, s.App, stage, s.Utility, s.Power, vector, s.Threads, s.Cores)
+	}
+	return nil
+}
+
+// renderTrace prints one line per event for `harpctl trace tail`.
+func renderTrace(out io.Writer, resp map[string]json.RawMessage) error {
+	var events []struct {
+		At       time.Duration `json:"at"`
+		Kind     string        `json:"kind"`
+		Instance string        `json:"instance"`
+		Vector   string        `json:"vector"`
+		Stage    string        `json:"stage"`
+		Seq      int           `json:"seq"`
+		Utility  float64       `json:"utility"`
+		Power    float64       `json:"power"`
+	}
+	if err := json.Unmarshal(resp["events"], &events); err != nil {
+		return err
+	}
+	for _, ev := range events {
+		line := fmt.Sprintf("%12s  %-20s %-22s", ev.At, ev.Kind, ev.Instance)
+		if ev.Vector != "" {
+			line += " vector=" + ev.Vector
+		}
+		if ev.Stage != "" {
+			line += " stage=" + ev.Stage
+		}
+		if ev.Seq != 0 {
+			line += fmt.Sprintf(" seq=%d", ev.Seq)
+		}
+		if ev.Utility != 0 || ev.Power != 0 {
+			line += fmt.Sprintf(" utility=%.1f power=%.1fW", ev.Utility, ev.Power)
+		}
+		fmt.Fprintln(out, line)
+	}
+	var total, dropped uint64
+	_ = json.Unmarshal(resp["total"], &total)
+	_ = json.Unmarshal(resp["dropped"], &dropped)
+	fmt.Fprintf(out, "%d events shown (%d emitted, %d evicted from the ring)\n",
+		len(events), total, dropped)
 	return nil
 }

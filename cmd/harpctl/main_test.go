@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // fakeHarpd answers control requests the way harpd's control listener does.
@@ -29,6 +30,7 @@ func fakeHarpd(t *testing.T) string {
 				var req struct {
 					Op       string `json:"op"`
 					Instance string `json:"instance"`
+					N        int    `json:"n"`
 				}
 				if err := json.NewDecoder(conn).Decode(&req); err != nil {
 					return
@@ -36,9 +38,19 @@ func fakeHarpd(t *testing.T) string {
 				enc := json.NewEncoder(conn)
 				switch req.Op {
 				case "sessions":
-					_ = enc.Encode(map[string]any{"sessions": []map[string]string{
-						{"Instance": "ep.C/1", "App": "ep.C"},
-					}})
+					_ = enc.Encode(map[string]any{"sessions": []map[string]any{{
+						"Instance": "ep.C/1", "App": "ep.C", "Stage": "stable",
+						"Utility": 123.4, "Power": 37.5,
+						"Vector": "P6", "Threads": 6, "Cores": 3,
+					}}})
+				case "trace":
+					_ = enc.Encode(map[string]any{
+						"events": []map[string]any{{
+							"at": 1500 * time.Millisecond, "kind": "decision-pushed",
+							"instance": "ep.C/1", "vector": "P6", "seq": 3,
+						}},
+						"total": 42, "dropped": 2,
+					})
 				case "table":
 					if req.Instance == "ghost" {
 						_ = enc.Encode(map[string]string{"error": "unknown session"})
@@ -84,12 +96,59 @@ func TestServerErrorSurfaces(t *testing.T) {
 	}
 }
 
+func TestStatusCommand(t *testing.T) {
+	sock := fakeHarpd(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-control", sock, "status"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"INSTANCE", "UTILITY", "ep.C/1", "stable", "123.4", "37.5", "P6"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("status output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceTailCommand(t *testing.T) {
+	sock := fakeHarpd(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-control", sock, "trace", "tail", "5"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"decision-pushed", "ep.C/1", "vector=P6", "seq=3", "42 emitted", "2 evicted"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace tail output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceDumpCommand(t *testing.T) {
+	sock := fakeHarpd(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-control", sock, "trace", "dump"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var resp map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &resp); err != nil {
+		t.Fatalf("dump is not JSON: %v\n%s", err, buf.String())
+	}
+	if _, ok := resp["events"]; !ok {
+		t.Errorf("dump missing events: %s", buf.String())
+	}
+}
+
 func TestUsageErrors(t *testing.T) {
 	var buf bytes.Buffer
 	tests := [][]string{
 		nil,
 		{"unknown-cmd"},
-		{"table"}, // missing instance
+		{"table"},                 // missing instance
+		{"trace"},                 // missing subcommand
+		{"trace", "rewind"},       // unknown subcommand
+		{"trace", "tail", "zero"}, // bad count
+		{"trace", "tail", "-3"},   // bad count
 	}
 	for _, args := range tests {
 		if err := run(args, &buf); err == nil {

@@ -6,7 +6,14 @@
 // Usage:
 //
 //	harpd -platform intel -socket /run/harp.sock -control /run/harpctl.sock \
-//	      -config /etc/harp [-no-exploration]
+//	      -config /etc/harp [-no-exploration] \
+//	      [-telemetry 127.0.0.1:9140] [-journal /var/log/harp/journal.jsonl]
+//
+// The daemon always keeps a ring buffer of adaptation-loop events (harpctl
+// trace) and a metrics registry. -telemetry additionally serves them over
+// HTTP: /metrics (Prometheus text format), /debug/vars (expvar) and
+// /debug/pprof/ (runtime profiles). -journal appends one JSONL record per
+// decision epoch to the given file.
 //
 // Without a real perf/RAPL sampler (not available in this repository's
 // offline environment), sessions are driven purely by uploaded operating
@@ -16,14 +23,18 @@ package main
 
 import (
 	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"github.com/harp-rm/harp/harp"
+	"github.com/harp-rm/harp/internal/telemetry"
 )
 
 func main() {
@@ -41,6 +52,9 @@ func run(args []string) error {
 		controlPath   = fs.String("control", "/tmp/harpctl.sock", "Unix socket for harpctl")
 		configDir     = fs.String("config", "", "configuration directory (hardware description, opoints/)")
 		noExploration = fs.Bool("no-exploration", false, "disable online exploration (HARP Offline)")
+		telemetryAddr = fs.String("telemetry", "", "HTTP address for /metrics, /debug/vars and /debug/pprof/ (empty = off)")
+		journalPath   = fs.String("journal", "", "append per-epoch decision records (JSONL) to this file (empty = off)")
+		traceBuffer   = fs.Int("trace-buffer", 0, "event ring capacity for harpctl trace (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -50,21 +64,48 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+
+	tracer := telemetry.NewTracer(*traceBuffer)
+	registry := telemetry.NewRegistry()
+	metrics := telemetry.NewMetrics(registry)
+	var journal *telemetry.Journal
+	if *journalPath != "" {
+		f, err := os.OpenFile(*journalPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("open journal: %w", err)
+		}
+		defer f.Close()
+		journal = telemetry.NewJournal(f)
+	}
+
 	srv, err := harp.NewServer(harp.ServerConfig{
 		Platform:           plat,
 		ConfigDir:          *configDir,
 		DisableExploration: *noExploration || !plat.SimultaneousPMU,
+		Tracer:             tracer,
+		Metrics:            metrics,
+		Journal:            journal,
 	})
 	if err != nil {
 		return err
 	}
 
-	ctl, err := newControlListener(*controlPath, srv)
+	ctl, err := newControlListener(*controlPath, srv, tracer)
 	if err != nil {
 		return err
 	}
 	defer ctl.Close()
 	go ctl.serve()
+
+	if *telemetryAddr != "" {
+		tln, err := net.Listen("tcp", *telemetryAddr)
+		if err != nil {
+			return fmt.Errorf("telemetry listener: %w", err)
+		}
+		defer tln.Close()
+		go func() { _ = http.Serve(tln, telemetryMux(registry)) }()
+		fmt.Printf("harpd: telemetry on http://%s/metrics\n", tln.Addr())
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -77,13 +118,32 @@ func run(args []string) error {
 	return srv.ListenAndServe(*socketPath)
 }
 
-// controlListener answers harpctl queries with JSON lines.
-type controlListener struct {
-	ln  net.Listener
-	srv *harp.Server
+// telemetryMux serves the observability endpoints: Prometheus text,
+// expvar, and the standard pprof profiles.
+func telemetryMux(reg *telemetry.Registry) *http.ServeMux {
+	reg.PublishExpvar("harp")
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		reg.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
-func newControlListener(path string, srv *harp.Server) (*controlListener, error) {
+// controlListener answers harpctl queries with JSON lines.
+type controlListener struct {
+	ln     net.Listener
+	srv    *harp.Server
+	tracer *telemetry.Tracer
+}
+
+func newControlListener(path string, srv *harp.Server, tracer *telemetry.Tracer) (*controlListener, error) {
 	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
 		return nil, err
 	}
@@ -91,7 +151,7 @@ func newControlListener(path string, srv *harp.Server) (*controlListener, error)
 	if err != nil {
 		return nil, err
 	}
-	return &controlListener{ln: ln, srv: srv}, nil
+	return &controlListener{ln: ln, srv: srv, tracer: tracer}, nil
 }
 
 func (c *controlListener) Close() error { return c.ln.Close() }
@@ -107,12 +167,14 @@ func (c *controlListener) serve() {
 }
 
 // handle answers one request per connection: a JSON object
-// {"op": "sessions"} or {"op": "table", "instance": "..."}.
+// {"op": "sessions"}, {"op": "table", "instance": "..."} or
+// {"op": "trace", "n": 100} (n = 0 dumps the whole ring).
 func (c *controlListener) handle(conn net.Conn) {
 	defer conn.Close()
 	var req struct {
 		Op       string `json:"op"`
 		Instance string `json:"instance"`
+		N        int    `json:"n"`
 	}
 	dec := json.NewDecoder(conn)
 	enc := json.NewEncoder(conn)
@@ -130,6 +192,12 @@ func (c *controlListener) handle(conn net.Conn) {
 			return
 		}
 		_ = enc.Encode(map[string]any{"table": tbl})
+	case "trace":
+		_ = enc.Encode(map[string]any{
+			"events":  c.tracer.Tail(req.N),
+			"total":   c.tracer.Total(),
+			"dropped": c.tracer.Dropped(),
+		})
 	default:
 		_ = enc.Encode(map[string]string{"error": "unknown op " + req.Op})
 	}

@@ -2,13 +2,18 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"net"
+	"net/http"
+	"net/http/httptest"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
 	"github.com/harp-rm/harp/harp"
 	"github.com/harp-rm/harp/internal/platform"
+	"github.com/harp-rm/harp/internal/telemetry"
 )
 
 // startDaemonPieces brings up the server + control listener the way main()
@@ -19,14 +24,17 @@ func startDaemonPieces(t *testing.T) (appSock, ctlSock string) {
 	appSock = filepath.Join(dir, "harp.sock")
 	ctlSock = filepath.Join(dir, "ctl.sock")
 
+	tracer := telemetry.NewTracer(0)
 	srv, err := harp.NewServer(harp.ServerConfig{
 		Platform:           platform.RaptorLake(),
 		DisableExploration: true,
+		Tracer:             tracer,
+		Metrics:            telemetry.NewMetrics(telemetry.NewRegistry()),
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ctl, err := newControlListener(ctlSock, srv)
+	ctl, err := newControlListener(ctlSock, srv, tracer)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,5 +142,86 @@ func TestControlUnknownOp(t *testing.T) {
 func TestRunFlagValidation(t *testing.T) {
 	if err := run([]string{"-platform", "does-not-exist"}); err == nil {
 		t.Error("unknown platform accepted")
+	}
+}
+
+func TestControlTrace(t *testing.T) {
+	appSock, ctlSock := startDaemonPieces(t)
+	client, err := harp.Dial(appSock, harp.Registration{App: "tr", PID: 7, Adaptivity: harp.Scalable})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	resp := controlRequest(t, ctlSock, map[string]string{"op": "trace"})
+	var events []map[string]any
+	if err := json.Unmarshal(resp["events"], &events); err != nil {
+		t.Fatalf("events: %v (%s)", err, resp["events"])
+	}
+	if len(events) == 0 {
+		t.Fatal("no events after a registration")
+	}
+	kinds := map[string]bool{}
+	for _, ev := range events {
+		kind, ok := ev["kind"].(string)
+		if !ok {
+			t.Fatalf("event kind not serialized as a string: %v", ev["kind"])
+		}
+		kinds[kind] = true
+	}
+	if !kinds["session-registered"] || !kinds["decision-pushed"] {
+		t.Errorf("trace kinds %v, want registration and its decision", kinds)
+	}
+}
+
+func TestTelemetryMuxEndpoints(t *testing.T) {
+	registry := telemetry.NewRegistry()
+	srv, err := harp.NewServer(harp.ServerConfig{
+		Platform:           platform.RaptorLake(),
+		DisableExploration: true,
+		Metrics:            telemetry.NewMetrics(registry),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appSock := filepath.Join(t.TempDir(), "harp.sock")
+	go func() { _ = srv.ListenAndServe(appSock) }()
+	t.Cleanup(func() { _ = srv.Close() })
+	waitSock(t, appSock)
+	client, err := harp.Dial(appSock, harp.Registration{App: "m", PID: 8, Adaptivity: harp.Static})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	ts := httptest.NewServer(telemetryMux(registry))
+	defer ts.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	if body := get("/metrics"); !strings.Contains(body, "harp_sessions") ||
+		!strings.Contains(body, "# TYPE harp_decisions_total counter") {
+		t.Errorf("/metrics incomplete:\n%s", body)
+	}
+	if body := get("/debug/vars"); !strings.Contains(body, "harp") {
+		t.Errorf("/debug/vars missing registry:\n%s", body)
+	}
+	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ index incomplete:\n%s", body)
 	}
 }

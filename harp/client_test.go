@@ -1,0 +1,168 @@
+package harp
+
+import (
+	"encoding/json"
+	"errors"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/harp-rm/harp/internal/proto"
+)
+
+// fakeRM accepts one client connection, acks its registration, and hands the
+// raw connection to drive for scripted server behaviour.
+func fakeRM(t *testing.T, drive func(conn net.Conn)) string {
+	t.Helper()
+	sock := filepath.Join(t.TempDir(), "fake.sock")
+	ln, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		env, err := proto.Read(conn)
+		if err != nil {
+			return
+		}
+		var reg proto.Register
+		if err := proto.DecodeBody(env, proto.MsgRegister, &reg); err != nil {
+			return
+		}
+		if err := proto.Write(conn, proto.MsgRegisterAck, proto.RegisterAck{
+			SessionID: "fake/1", OK: true,
+		}); err != nil {
+			return
+		}
+		drive(conn)
+	}()
+	return sock
+}
+
+func TestClientSurvivesMalformedActivation(t *testing.T) {
+	done := make(chan struct{})
+	sock := fakeRM(t, func(conn net.Conn) {
+		// A body that is valid JSON but not an Activate object must be
+		// skipped, not kill the read loop.
+		if err := proto.Write(conn, proto.MsgActivate, json.RawMessage(`"garbage"`)); err != nil {
+			t.Errorf("write malformed activate: %v", err)
+		}
+		if err := proto.Write(conn, proto.MsgActivate, proto.Activate{
+			Seq: 7, VectorKey: "P2", Threads: 2,
+			Cores: []proto.CoreGrant{{Core: 0, Threads: 1}},
+		}); err != nil {
+			t.Errorf("write activate: %v", err)
+		}
+		<-done // keep the connection open until the test is finished
+	})
+	defer close(done)
+
+	acts := make(chan Activation, 2)
+	c, err := Dial(sock, Registration{
+		App: "fake", PID: 1, Adaptivity: Scalable,
+		OnActivate: func(a Activation) { acts <- a },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	select {
+	case a := <-acts:
+		if a.Seq != 7 || a.VectorKey != "P2" {
+			t.Fatalf("activation after malformed push = %+v", a)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no activation delivered after malformed push")
+	}
+	select {
+	case <-c.Done():
+		t.Fatal("malformed push killed the session")
+	default:
+	}
+}
+
+func TestClientRejectedRegistration(t *testing.T) {
+	sock := filepath.Join(t.TempDir(), "reject.sock")
+	ln, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		if _, err := proto.Read(conn); err != nil {
+			return
+		}
+		_ = proto.Write(conn, proto.MsgRegisterAck, proto.RegisterAck{OK: false, Error: "no quota"})
+	}()
+	if _, err := Dial(sock, Registration{App: "x", PID: 1, Adaptivity: Static}); !errors.Is(err, ErrRegistrationRejected) {
+		t.Fatalf("Dial = %v, want ErrRegistrationRejected", err)
+	}
+}
+
+func TestClientServerClosesMidSession(t *testing.T) {
+	srv, sock := startServer(t, ServerConfig{Sampler: fixedSampler{utility: 80, power: 20}})
+	c, err := Dial(sock, Registration{App: "midclose", PID: 1, Adaptivity: Scalable, OwnUtility: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ReportUtility(10); err != nil {
+		t.Fatalf("ReportUtility before close: %v", err)
+	}
+
+	closeWithin(t, srv, 5*time.Second)
+
+	// The force-closed connection must surface as a closed Done channel …
+	select {
+	case <-c.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("Done not closed after server shutdown")
+	}
+	// … and as write errors from then on.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if err := c.ReportUtility(11); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("ReportUtility kept succeeding on a dead session")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	_ = c.Close() // must not hang or panic on an already-dead session
+}
+
+func TestClientCloseSemantics(t *testing.T) {
+	_, sock := startServer(t, ServerConfig{Sampler: fixedSampler{utility: 80, power: 20}})
+	c, err := Dial(sock, Registration{App: "closer", PID: 2, Adaptivity: Scalable})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-c.Done():
+		t.Fatal("Done closed before Close")
+	default:
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	select {
+	case <-c.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("Done not closed by Close")
+	}
+	if err := c.Close(); err != nil {
+		t.Errorf("second Close = %v, want nil (idempotent)", err)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"github.com/harp-rm/harp/internal/opoint"
 	"github.com/harp-rm/harp/internal/platform"
 	"github.com/harp-rm/harp/internal/proto"
+	"github.com/harp-rm/harp/internal/telemetry"
 )
 
 // DefaultMeasureEvery is the monitoring cadence (§5.3: 50 ms).
@@ -51,6 +52,14 @@ type ServerConfig struct {
 	MeasureEvery time.Duration
 	// Explore tunes the runtime exploration engine.
 	Explore explore.Config
+	// Tracer receives structured adaptation-loop events (nil disables
+	// tracing). Timestamps are wall time since server creation.
+	Tracer *telemetry.Tracer
+	// Journal records one JSONL epoch per decision batch (nil disables).
+	Journal *telemetry.Journal
+	// Metrics receives the adaptation-loop instruments, including the
+	// allocation-latency and measure-loop-jitter histograms (nil disables).
+	Metrics *telemetry.Metrics
 }
 
 // LoadPlatform resolves a platform: a built-in name ("intel", "odroid", …)
@@ -90,11 +99,13 @@ type Server struct {
 	mgr      *core.Manager
 	sessions map[string]*serverSession
 
-	ln     net.Listener
-	stop   chan struct{}
-	done   chan struct{}
-	wg     sync.WaitGroup
-	closed bool
+	ln      net.Listener
+	conns   map[net.Conn]struct{}
+	stop    chan struct{}
+	done    chan struct{}
+	wg      sync.WaitGroup
+	closed  bool
+	serving bool
 }
 
 // NewServer creates a server. The configuration directory, when given, is
@@ -119,11 +130,16 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 			}
 		}
 	}
+	start := time.Now()
 	mgr, err := core.NewManager(core.Config{
 		Platform:           cfg.Platform,
 		Explore:            cfg.Explore,
 		OfflineTables:      offline,
 		DisableExploration: cfg.DisableExploration,
+		Tracer:             cfg.Tracer,
+		Journal:            cfg.Journal,
+		Metrics:            cfg.Metrics,
+		LatencyClock:       func() time.Duration { return time.Since(start) },
 	})
 	if err != nil {
 		return nil, err
@@ -132,6 +148,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		cfg:      cfg,
 		mgr:      mgr,
 		sessions: make(map[string]*serverSession),
+		conns:    make(map[net.Conn]struct{}),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
@@ -157,8 +174,15 @@ func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		_ = ln.Close()
 		return errors.New("harp: server closed")
 	}
+	if s.serving {
+		s.mu.Unlock()
+		_ = ln.Close()
+		return errors.New("harp: Serve called twice")
+	}
+	s.serving = true
 	s.ln = ln
 	s.mu.Unlock()
 
@@ -174,15 +198,31 @@ func (s *Server) Serve(ln net.Listener) error {
 				return fmt.Errorf("harp: accept: %w", err)
 			}
 		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			continue // Accept will fail next; the closed listener ends the loop
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
 			s.handleConn(conn)
 		}()
 	}
 }
 
-// Close shuts the server down and waits for connection handlers to finish.
+// Close shuts the server down and waits for the measure loop and all
+// connection handlers to finish. Session connections are force-closed so
+// handlers blocked in reads terminate; Close before (or without) Serve
+// returns immediately.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -191,14 +231,24 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	ln := s.ln
+	serving := s.serving
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
 	s.mu.Unlock()
 
 	close(s.stop)
 	if ln != nil {
 		_ = ln.Close()
 	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
 	s.wg.Wait()
-	<-s.done
+	if serving {
+		<-s.done
+	}
 	return nil
 }
 
@@ -221,9 +271,19 @@ func (s *Server) measureLoop() {
 	defer close(s.done)
 	ticker := time.NewTicker(s.cfg.MeasureEvery)
 	defer ticker.Stop()
+	last := time.Now()
 	for {
 		select {
 		case <-ticker.C:
+			if mt := s.cfg.Metrics; mt != nil {
+				now := time.Now()
+				jitter := now.Sub(last) - s.cfg.MeasureEvery
+				if jitter < 0 {
+					jitter = -jitter
+				}
+				mt.MeasureJitter.Observe(jitter.Seconds())
+				last = now
+			}
 			s.measureOnce()
 		case <-s.stop:
 			return

@@ -15,6 +15,7 @@ import (
 	"github.com/harp-rm/harp/internal/parallel"
 	"github.com/harp-rm/harp/internal/platform"
 	"github.com/harp-rm/harp/internal/sim"
+	"github.com/harp-rm/harp/internal/telemetry"
 	"github.com/harp-rm/harp/internal/workload"
 )
 
@@ -141,6 +142,17 @@ type Options struct {
 	// Result.Timeline — the raw material for allocation Gantt charts and
 	// for debugging management behaviour.
 	RecordTimeline bool
+	// Tracer receives the run's structured adaptation-loop events (HARP
+	// policies only; nil disables). Its clock is rebound to the machine's
+	// virtual time, so event streams are deterministic and replayable;
+	// Tracer.WriteChromeTrace renders the run for Perfetto.
+	Tracer *telemetry.Tracer
+	// Journal records one JSONL epoch per decision batch (nil disables).
+	Journal *telemetry.Journal
+	// Metrics receives the adaptation-loop instruments (nil disables). The
+	// allocation-latency histogram stays empty: wall time would measure the
+	// host, not the simulated system.
+	Metrics *telemetry.Metrics
 }
 
 // TimelineEvent is one applied allocation decision.

@@ -9,6 +9,7 @@ import (
 	"github.com/harp-rm/harp/internal/monitor"
 	"github.com/harp-rm/harp/internal/sched"
 	"github.com/harp-rm/harp/internal/sim"
+	"github.com/harp-rm/harp/internal/telemetry"
 	"github.com/harp-rm/harp/internal/workload"
 )
 
@@ -133,6 +134,9 @@ type harpHarness struct {
 
 // attachHARP connects the RM to a machine.
 func attachHARP(machine *sim.Machine, sc Scenario, opts Options) (*harpHarness, error) {
+	// Rebind the tracer to virtual time before anything emits: identical
+	// scenarios then produce bit-identical event streams.
+	opts.Tracer.SetClock(machine.Now)
 	disableExplore := opts.Policy == PolicyHARPOffline || !sc.Platform.SimultaneousPMU
 	mgr, err := core.NewManager(core.Config{
 		Platform:           sc.Platform,
@@ -140,11 +144,14 @@ func attachHARP(machine *sim.Machine, sc Scenario, opts Options) (*harpHarness, 
 		OfflineTables:      opts.OfflineTables,
 		DisableExploration: disableExplore,
 		ReallocEvery:       opts.ReallocEvery,
+		Tracer:             opts.Tracer,
+		Journal:            opts.Journal,
+		Metrics:            opts.Metrics,
 	})
 	if err != nil {
 		return nil, err
 	}
-	mon, err := monitor.New(machine, monitor.WithSeed(opts.Seed))
+	mon, err := monitor.New(machine, monitor.WithSeed(opts.Seed), monitor.WithTracer(opts.Tracer))
 	if err != nil {
 		return nil, err
 	}
@@ -298,6 +305,16 @@ func (h *harpHarness) measureTick(now time.Duration) {
 		utility := meas.SmoothedIPS
 		if prof.OwnUtility {
 			utility = meas.UsefulRate * prof.UtilityScale
+		}
+		if h.opts.Tracer.Enabled() {
+			h.opts.Tracer.Emit(telemetry.Event{
+				Kind:     telemetry.EvAppSample,
+				Instance: instance,
+				App:      prof.Name,
+				Utility:  meas.IPS,
+				Power:    meas.PowerW,
+				Vals:     [4]float64{meas.SmoothedIPS, meas.SmoothedPower},
+			})
 		}
 		_ = h.mgr.Measure(instance, utility, meas.SmoothedPower)
 	}

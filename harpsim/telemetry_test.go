@@ -1,0 +1,209 @@
+package harpsim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"github.com/harp-rm/harp/internal/telemetry"
+)
+
+// tracedRun executes one scenario with the full telemetry stack attached and
+// returns the serialized journal and Chrome trace plus the raw event stream.
+func tracedRun(t *testing.T, sc Scenario, opts Options) (journal, trace []byte, events []telemetry.Event, res *Result) {
+	t.Helper()
+	var jbuf, cbuf bytes.Buffer
+	tr := telemetry.NewTracer(1 << 18)
+	opts.Tracer = tr
+	opts.Journal = telemetry.NewJournal(&jbuf)
+	opts.Metrics = telemetry.NewMetrics(telemetry.NewRegistry())
+	opts.RecordTimeline = true
+	res = mustRun(t, sc, opts)
+	if err := opts.Journal.Err(); err != nil {
+		t.Fatalf("journal error: %v", err)
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("tracer evicted %d events; grow the test capacity", tr.Dropped())
+	}
+	if err := tr.WriteChromeTrace(&cbuf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	return jbuf.Bytes(), cbuf.Bytes(), tr.Events(), res
+}
+
+// TestSimJournalMatchesDecisions is the telemetry acceptance check: a traced
+// run must produce a JSONL journal whose epochs, concatenated, are exactly
+// the decisions the RM pushed (the EvDecisionPushed stream), in order.
+func TestSimJournalMatchesDecisions(t *testing.T) {
+	sc := intelScenario(t, "cg.C", "is.C")
+	tables := OfflineDSETables(sc.Platform, sc.Apps)
+	journal, _, events, res := tracedRun(t, sc, Options{
+		Policy: PolicyHARPOffline, OfflineTables: tables, Seed: 3,
+	})
+
+	var pushed []telemetry.Event
+	for _, ev := range events {
+		if ev.Kind == telemetry.EvDecisionPushed {
+			pushed = append(pushed, ev)
+		}
+	}
+	if len(pushed) == 0 {
+		t.Fatal("run pushed no decisions")
+	}
+	if len(res.Timeline) == 0 || len(res.Timeline) > len(pushed) {
+		t.Errorf("timeline has %d events, pushed %d decisions", len(res.Timeline), len(pushed))
+	}
+
+	epochs, err := telemetry.ReadJournal(bytes.NewReader(journal))
+	if err != nil {
+		t.Fatalf("ReadJournal: %v", err)
+	}
+	if len(epochs) == 0 {
+		t.Fatal("journal is empty")
+	}
+	var outs []telemetry.EpochOutput
+	for i, rec := range epochs {
+		if rec.Epoch != i+1 {
+			t.Errorf("epoch %d numbered %d", i, rec.Epoch)
+		}
+		if rec.Trigger == "" {
+			t.Errorf("epoch %d without trigger", i)
+		}
+		if len(rec.Inputs) == 0 && len(rec.Outputs) == 0 {
+			t.Errorf("epoch %d (%s) is empty", i, rec.Trigger)
+		}
+		outs = append(outs, rec.Outputs...)
+	}
+	if len(outs) != len(pushed) {
+		t.Fatalf("journal records %d decisions, run pushed %d", len(outs), len(pushed))
+	}
+	for i, out := range outs {
+		ev := pushed[i]
+		if out.Instance != ev.Instance || out.Seq != ev.Seq || out.Vector != ev.Vector ||
+			out.Threads != int(ev.Vals[0]) || out.Cores != int(ev.Vals[1]) ||
+			out.Exploring != ev.Exploring || out.CoAllocated != ev.CoAllocated ||
+			out.PredPowerW != ev.Power {
+			t.Fatalf("decision %d: journal %+v ≠ pushed %+v", i, out, ev)
+		}
+	}
+}
+
+// TestSimChromeTraceIsValid checks the Perfetto export of a traced run: a
+// parseable trace_event array with counter tracks for every app, instant
+// decision events, and per-track name metadata.
+func TestSimChromeTraceIsValid(t *testing.T) {
+	sc := intelScenario(t, "cg.C", "is.C")
+	tables := OfflineDSETables(sc.Platform, sc.Apps)
+	_, trace, _, _ := tracedRun(t, sc, Options{
+		Policy: PolicyHARPOffline, OfflineTables: tables, Seed: 3,
+	})
+
+	var evs []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Ts   float64        `json:"ts"`
+		Args map[string]any `json:"args"`
+	}
+	if err := json.Unmarshal(trace, &evs); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	byPh := map[string]int{}
+	tracks := map[string]bool{}
+	lastTs := 0.0
+	for _, ev := range evs {
+		byPh[ev.Ph]++
+		if ev.Ph == "M" {
+			tracks[ev.Args["name"].(string)] = true
+			continue
+		}
+		if ev.Ts < 0 {
+			t.Fatalf("negative timestamp in %+v", ev)
+		}
+		if ev.Ts < lastTs {
+			t.Fatalf("timestamps not monotonic: %.1f after %.1f", ev.Ts, lastTs)
+		}
+		lastTs = ev.Ts
+	}
+	if byPh["C"] == 0 || byPh["i"] == 0 || byPh["M"] == 0 {
+		t.Errorf("trace event mix %v, want counters, instants and metadata", byPh)
+	}
+	if !tracks["cg.C"] || !tracks["is.C"] || !tracks["rm"] {
+		t.Errorf("trace tracks %v, want both apps and the RM", tracks)
+	}
+}
+
+// TestSimTelemetryDeterministic pins the replay contract: two runs of the
+// same scenario and seed serialize to byte-identical journals and traces,
+// because the tracer is driven by virtual time.
+func TestSimTelemetryDeterministic(t *testing.T) {
+	sc := intelScenario(t, "cg.C", "is.C")
+	tables := OfflineDSETables(sc.Platform, sc.Apps)
+	opts := Options{Policy: PolicyHARPOffline, OfflineTables: tables, Seed: 3}
+	j1, c1, _, _ := tracedRun(t, sc, opts)
+	j2, c2, _, _ := tracedRun(t, sc, opts)
+	if !bytes.Equal(j1, j2) {
+		t.Error("journals differ between identical runs")
+	}
+	if !bytes.Equal(c1, c2) {
+		t.Error("Chrome traces differ between identical runs")
+	}
+}
+
+// TestSimOnlineExplorationTraced runs online HARP and checks the learning
+// path shows up in the event stream and journal triggers.
+func TestSimOnlineExplorationTraced(t *testing.T) {
+	// Two apps so the first exit triggers a "deregister" reallocation epoch
+	// (the last session's exit leaves nothing to decide about, so it only
+	// emits the session-exited event).
+	sc := intelScenario(t, "cg.C", "ep.C")
+	journal, _, events, _ := tracedRun(t, sc, Options{Policy: PolicyHARP, Seed: 5})
+
+	kinds := map[telemetry.EventKind]int{}
+	for _, ev := range events {
+		kinds[ev.Kind]++
+	}
+	for _, k := range []telemetry.EventKind{
+		telemetry.EvSessionRegistered, telemetry.EvSessionExited,
+		telemetry.EvMeasureSample, telemetry.EvAppSample, telemetry.EvMonitorSample,
+		telemetry.EvExplorationStep, telemetry.EvTableUpdated,
+		telemetry.EvAllocationComputed, telemetry.EvDecisionPushed,
+	} {
+		if kinds[k] == 0 {
+			t.Errorf("no %s events in an online run", k)
+		}
+	}
+
+	epochs, err := telemetry.ReadJournal(bytes.NewReader(journal))
+	if err != nil {
+		t.Fatalf("ReadJournal: %v", err)
+	}
+	triggers := map[string]bool{}
+	for _, rec := range epochs {
+		triggers[rec.Trigger] = true
+	}
+	if !triggers["register"] || !triggers["deregister"] {
+		t.Errorf("journal triggers %v, want session lifecycle", triggers)
+	}
+	if !triggers["exploration"] && !triggers["graduation"] && !triggers["cadence"] {
+		t.Errorf("journal triggers %v, want learning-driven epochs", triggers)
+	}
+}
+
+// Telemetry is HARP-only: baseline policies must leave the instruments
+// untouched even when handed in.
+func TestSimBaselineEmitsNothing(t *testing.T) {
+	sc := intelScenario(t, "ep.C")
+	tr := telemetry.NewTracer(64)
+	var jbuf bytes.Buffer
+	mustRun(t, sc, Options{
+		Policy:  PolicyCFS,
+		Tracer:  tr,
+		Journal: telemetry.NewJournal(&jbuf),
+	})
+	if tr.Total() != 0 {
+		t.Errorf("CFS run emitted %d events", tr.Total())
+	}
+	if jbuf.Len() != 0 {
+		t.Errorf("CFS run wrote %d journal bytes", jbuf.Len())
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"github.com/harp-rm/harp/internal/opoint"
 	"github.com/harp-rm/harp/internal/platform"
+	"github.com/harp-rm/harp/internal/telemetry"
 )
 
 // Method selects the MMKP solver.
@@ -83,6 +84,7 @@ type Allocator struct {
 	plat   *platform.Platform
 	method Method
 	iters  int
+	tracer *telemetry.Tracer
 }
 
 // Option configures an Allocator.
@@ -100,6 +102,12 @@ func WithMethod(m Method) Option {
 // WithIterations sets the subgradient iteration count (default 60).
 func WithIterations(n int) Option {
 	return optionFunc(func(a *Allocator) { a.iters = n })
+}
+
+// WithTracer emits an EvAllocationComputed event per solver run (nil
+// disables tracing).
+func WithTracer(t *telemetry.Tracer) Option {
+	return optionFunc(func(a *Allocator) { a.tracer = t })
 }
 
 // New creates an allocator for the platform.
@@ -134,12 +142,33 @@ type appState struct {
 	chosen int // index into cands, -1 = none
 }
 
+// Stats summarises one solver run for the telemetry layer.
+type Stats struct {
+	// Apps is the number of competing applications.
+	Apps int
+	// Candidates is the total Pareto-filtered candidate count across apps.
+	Candidates int
+	// LambdaIters is the number of subgradient iterations performed (0 for
+	// the greedy solver).
+	LambdaIters int
+	// CoAllocated counts applications that ended up sharing cores.
+	CoAllocated int
+}
+
 // Allocate selects one operating point per application and assigns concrete
 // cores. Every input application receives an allocation; applications that
 // cannot fit are co-allocated on shared cores.
 func (a *Allocator) Allocate(apps []AppInput) ([]Allocation, error) {
+	out, _, err := a.AllocateWithStats(apps)
+	return out, err
+}
+
+// AllocateWithStats is Allocate plus solver statistics, and emits an
+// EvAllocationComputed event when the allocator has a tracer.
+func (a *Allocator) AllocateWithStats(apps []AppInput) ([]Allocation, Stats, error) {
+	var stats Stats
 	if len(apps) == 0 {
-		return nil, nil
+		return nil, stats, nil
 	}
 	capacity := make([]int, len(a.plat.Kinds))
 	for k, kind := range a.plat.Kinds {
@@ -149,18 +178,21 @@ func (a *Allocator) Allocate(apps []AppInput) ([]Allocation, error) {
 	states := make([]*appState, len(apps))
 	for i, app := range apps {
 		if app.Table == nil {
-			return nil, fmt.Errorf("alloc: app %q without operating-point table", app.ID)
+			return nil, stats, fmt.Errorf("alloc: app %q without operating-point table", app.ID)
 		}
 		st, err := a.buildState(app)
 		if err != nil {
-			return nil, err
+			return nil, stats, err
 		}
 		states[i] = st
+		stats.Candidates += len(st.cands)
 	}
+	stats.Apps = len(apps)
 
 	switch a.method {
 	case Lagrangian:
 		a.lagrangianSelect(states, capacity)
+		stats.LambdaIters = a.iters
 	case Greedy:
 		for i := range states {
 			states[i].chosen = -1
@@ -168,7 +200,27 @@ func (a *Allocator) Allocate(apps []AppInput) ([]Allocation, error) {
 	}
 	a.repair(states, capacity)
 	a.improve(states, capacity)
-	return a.assignCores(states)
+	out, err := a.assignCores(states)
+	if err != nil {
+		return nil, stats, err
+	}
+	for _, al := range out {
+		if al.CoAllocated {
+			stats.CoAllocated++
+		}
+	}
+	if a.tracer.Enabled() {
+		a.tracer.Emit(telemetry.Event{
+			Kind: telemetry.EvAllocationComputed,
+			Seq:  stats.Apps,
+			Vals: [4]float64{
+				float64(stats.LambdaIters),
+				float64(stats.Candidates),
+				float64(stats.CoAllocated),
+			},
+		})
+	}
+	return out, stats, nil
 }
 
 // buildState Pareto-filters the table and precomputes costs.

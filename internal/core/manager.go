@@ -15,11 +15,13 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"github.com/harp-rm/harp/internal/alloc"
 	"github.com/harp-rm/harp/internal/explore"
 	"github.com/harp-rm/harp/internal/opoint"
 	"github.com/harp-rm/harp/internal/platform"
+	"github.com/harp-rm/harp/internal/telemetry"
 	"github.com/harp-rm/harp/internal/workload"
 )
 
@@ -54,6 +56,10 @@ type Decision struct {
 	// Exploring marks an exploration configuration rather than a
 	// cost-optimal stable allocation.
 	Exploring bool
+	// PredictedPowerW is the selected operating point's predicted power
+	// draw — the application's slice of the system power budget (0 for
+	// exploration probes, which have no prediction yet).
+	PredictedPowerW float64
 }
 
 // SessionInfo is a read-only session summary.
@@ -68,6 +74,16 @@ type SessionInfo struct {
 	// Phase is the application-announced execution stage (§7 outlook
 	// extension; empty if never announced).
 	Phase string
+	// Utility and Power are the last smoothed sample fed to Measure.
+	Utility float64
+	Power   float64
+	// Vector, Threads, Cores, Seq and Exploring summarise the session's
+	// standing decision (zero values before the first push).
+	Vector    string
+	Threads   int
+	Cores     int
+	Seq       int
+	Exploring bool
 }
 
 // Config configures a Manager.
@@ -88,6 +104,19 @@ type Config struct {
 	// ReallocEvery is the stable-stage reallocation cadence in
 	// measurements; 0 selects DefaultReallocEvery.
 	ReallocEvery int
+	// Tracer receives structured adaptation-loop events (nil disables
+	// tracing). It is also handed to the explorers and, when Allocator is
+	// nil, to the default allocator.
+	Tracer *telemetry.Tracer
+	// Journal records one JSONL epoch per decision batch (nil disables).
+	Journal *telemetry.Journal
+	// Metrics receives the adaptation-loop instruments (nil disables).
+	Metrics *telemetry.Metrics
+	// LatencyClock, when set, times each allocation for the
+	// harp_allocation_seconds histogram. Servers inject wall time since
+	// startup; simulated runs leave it nil (the histogram would measure
+	// host speed, not simulated behaviour).
+	LatencyClock func() time.Duration
 }
 
 type session struct {
@@ -109,6 +138,13 @@ type session struct {
 	stableMeasurements int
 	coAllocated        bool
 	phase              string
+
+	// Telemetry state: the last smoothed sample, and the session's gauges
+	// cached at registration so the 50 ms hot path skips the GaugeVec map.
+	lastUtility float64
+	lastPower   float64
+	utilGauge   *telemetry.Gauge
+	powerGauge  *telemetry.Gauge
 }
 
 // Manager is the HARP resource manager.
@@ -120,6 +156,11 @@ type Manager struct {
 	order     []string
 	seq       int
 	onDecide  []func(Decision)
+
+	// pendingOut accumulates the decisions pushed since the last journal
+	// epoch (only when a journal is configured), so an epoch's Outputs are
+	// exactly the EvDecisionPushed events it covers.
+	pendingOut []telemetry.EpochOutput
 }
 
 // NewManager creates a resource manager.
@@ -138,10 +179,13 @@ func NewManager(cfg Config) (*Manager, error) {
 	allocator := cfg.Allocator
 	if allocator == nil {
 		var err error
-		allocator, err = alloc.New(cfg.Platform)
+		allocator, err = alloc.New(cfg.Platform, alloc.WithTracer(cfg.Tracer))
 		if err != nil {
 			return nil, err
 		}
+	}
+	if cfg.Explore.Tracer == nil {
+		cfg.Explore.Tracer = cfg.Tracer
 	}
 	if cfg.ReallocEvery == 0 {
 		cfg.ReallocEvery = DefaultReallocEvery
@@ -197,7 +241,18 @@ func (m *Manager) Register(instance, app string, adaptivity workload.Adaptivity,
 	}
 	m.sessions[instance] = s
 	m.order = append(m.order, instance)
-	return m.Reallocate()
+	m.cfg.Tracer.Emit(telemetry.Event{
+		Kind:     telemetry.EvSessionRegistered,
+		Instance: instance,
+		App:      app,
+		Stage:    s.explorer.Stage().String(),
+	})
+	if mt := m.cfg.Metrics; mt != nil {
+		mt.Sessions.Set(float64(len(m.sessions)))
+		s.utilGauge = mt.SessionUtility.With(instance)
+		s.powerGauge = mt.SessionPower.With(instance)
+	}
+	return m.reallocate("register")
 }
 
 // UploadTable merges operating points supplied by the application itself
@@ -214,12 +269,13 @@ func (m *Manager) UploadTable(instance string, t *opoint.Table) error {
 		return err
 	}
 	s.explorer.SeedTable(t)
-	return m.Reallocate()
+	return m.reallocate("table-upload")
 }
 
 // Deregister removes a session (application exit) and reallocates.
 func (m *Manager) Deregister(instance string) error {
-	if _, err := m.session(instance); err != nil {
+	s, err := m.session(instance)
+	if err != nil {
 		return err
 	}
 	delete(m.sessions, instance)
@@ -229,10 +285,23 @@ func (m *Manager) Deregister(instance string) error {
 			break
 		}
 	}
+	m.cfg.Tracer.Emit(telemetry.Event{
+		Kind:     telemetry.EvSessionExited,
+		Instance: instance,
+		App:      s.app,
+	})
+	if mt := m.cfg.Metrics; mt != nil {
+		mt.Sessions.Set(float64(len(m.sessions)))
+		mt.SessionUtility.Delete(instance)
+		mt.SessionPower.Delete(instance)
+	}
 	if len(m.sessions) == 0 {
+		if mt := m.cfg.Metrics; mt != nil {
+			mt.CoresGranted.Set(0)
+		}
 		return nil
 	}
-	return m.Reallocate()
+	return m.reallocate("deregister")
 }
 
 // Measure feeds one smoothed (utility, power) sample for a session
@@ -244,6 +313,20 @@ func (m *Manager) Measure(instance string, utility, power float64) error {
 	if err != nil {
 		return err
 	}
+	s.lastUtility = utility
+	s.lastPower = power
+	m.cfg.Tracer.Emit(telemetry.Event{
+		Kind:     telemetry.EvMeasureSample,
+		Instance: instance,
+		App:      s.app,
+		Utility:  utility,
+		Power:    power,
+	})
+	if mt := m.cfg.Metrics; mt != nil {
+		mt.Samples.Inc()
+		s.utilGauge.Set(utility)
+		s.powerGauge.Set(power)
+	}
 	if s.coAllocated {
 		// Co-allocation distorts measurements; monitoring is suspended
 		// (§4.2.2, Limitations).
@@ -253,9 +336,9 @@ func (m *Manager) Measure(instance string, utility, power float64) error {
 		if _, ok := s.explorer.Current(); !ok {
 			// Not currently measuring (e.g. just seeded); start a point.
 			if err := m.startExploration(s); err != nil {
-				return m.Reallocate()
+				return m.reallocate("exploration")
 			}
-			return nil
+			return m.flushMeasureEpoch()
 		}
 		done, err := s.explorer.Record(utility, power)
 		if err != nil {
@@ -266,18 +349,27 @@ func (m *Manager) Measure(instance string, utility, power float64) error {
 		}
 		if s.explorer.Stage() == explore.StageStable {
 			// Graduation: pick the cost-optimal allocation system-wide.
-			return m.Reallocate()
+			return m.reallocate("graduation")
 		}
 		if err := m.startExploration(s); err != nil {
-			return m.Reallocate()
+			return m.reallocate("exploration")
 		}
-		return nil
+		return m.flushMeasureEpoch()
 	}
 
 	s.stableMeasurements++
 	if s.stableMeasurements >= m.cfg.ReallocEvery {
 		s.stableMeasurements = 0
-		return m.Reallocate()
+		return m.reallocate("cadence")
+	}
+	return nil
+}
+
+// flushMeasureEpoch journals decisions pushed directly from Measure
+// (exploration steps bypass reallocate); a no-op when nothing was pushed.
+func (m *Manager) flushMeasureEpoch() error {
+	if len(m.pendingOut) > 0 {
+		m.recordEpoch("exploration", 0)
 	}
 	return nil
 }
@@ -298,15 +390,32 @@ func (m *Manager) PhaseChange(instance, phase string) error {
 	if _, measuring := s.explorer.Current(); measuring {
 		s.explorer.Abort()
 	}
-	return m.Reallocate()
+	m.cfg.Tracer.Emit(telemetry.Event{
+		Kind:     telemetry.EvPhaseChange,
+		Instance: instance,
+		App:      s.app,
+		Stage:    phase,
+	})
+	return m.reallocate("phase-change")
 }
 
 // Reallocate recomputes allocations for all sessions and pushes changed
 // decisions. It is invoked on registration, exits, graduation to the stable
 // stage, and the periodic stable-stage cadence.
 func (m *Manager) Reallocate() error {
+	return m.reallocate("manual")
+}
+
+// reallocate is Reallocate with the trigger label for the decision journal
+// and trace events.
+func (m *Manager) reallocate(trigger string) error {
 	if len(m.order) == 0 {
 		return nil
+	}
+	var t0 time.Duration
+	timed := m.cfg.LatencyClock != nil
+	if timed {
+		t0 = m.cfg.LatencyClock()
 	}
 
 	inputs := make([]alloc.AppInput, 0, len(m.order))
@@ -314,7 +423,7 @@ func (m *Manager) Reallocate() error {
 		s := m.sessions[id]
 		inputs = append(inputs, alloc.AppInput{ID: id, Table: s.explorer.PredictedTable()})
 	}
-	allocs, err := m.allocator.Allocate(inputs)
+	allocs, stats, err := m.allocator.AllocateWithStats(inputs)
 	if err != nil {
 		return fmt.Errorf("core: allocate: %w", err)
 	}
@@ -371,7 +480,64 @@ func (m *Manager) Reallocate() error {
 		s.bound = nil
 		m.pushBase(s, al)
 	}
+
+	if timed {
+		if mt := m.cfg.Metrics; mt != nil {
+			mt.AllocLatency.Observe((m.cfg.LatencyClock() - t0).Seconds())
+		}
+	}
+	if mt := m.cfg.Metrics; mt != nil {
+		mt.Reallocations.Inc()
+		mt.CoresGranted.Set(float64(m.grantedCores()))
+	}
+	m.recordEpoch(trigger, stats.LambdaIters)
 	return nil
+}
+
+// grantedCores counts the distinct physical cores held by spatially
+// isolated standing decisions.
+func (m *Manager) grantedCores() int {
+	used := make(map[int]bool)
+	for _, s := range m.sessions {
+		if s.last == nil || s.last.CoAllocated {
+			continue
+		}
+		for _, g := range s.last.Grants {
+			used[g.Core] = true
+		}
+	}
+	return len(used)
+}
+
+// recordEpoch writes one decision-journal record covering the decisions
+// accumulated in pendingOut since the previous epoch.
+func (m *Manager) recordEpoch(trigger string, lambdaIters int) {
+	if !m.cfg.Journal.Enabled() {
+		return
+	}
+	rec := telemetry.EpochRecord{
+		AtSec:       m.cfg.Tracer.Now().Seconds(),
+		Trigger:     trigger,
+		LambdaIters: lambdaIters,
+		Inputs:      make([]telemetry.EpochInput, 0, len(m.order)),
+		Outputs:     m.pendingOut,
+	}
+	for _, id := range m.order {
+		s := m.sessions[id]
+		rec.Inputs = append(rec.Inputs, telemetry.EpochInput{
+			Instance: s.instance,
+			App:      s.app,
+			Stage:    s.explorer.Stage().String(),
+			Utility:  s.lastUtility,
+			PowerW:   s.lastPower,
+			Measured: s.explorer.Table().MeasuredCount(),
+		})
+		if s.last != nil {
+			rec.PowerBudgetW += s.last.PredictedPowerW
+		}
+	}
+	m.pendingOut = nil
+	_ = m.cfg.Journal.Record(rec) // sticky error readable via Journal.Err
 }
 
 // exploring reports whether a session is still learning.
@@ -454,11 +620,12 @@ func (m *Manager) grantsFromPool(s *session, rv platform.ResourceVector) ([]allo
 // pushBase pushes an allocator decision unchanged.
 func (m *Manager) pushBase(s *session, al alloc.Allocation) {
 	m.push(s, Decision{
-		Instance:    s.instance,
-		Vector:      al.Point.Vector.Clone(),
-		Threads:     m.threadsFor(s, al.Point.Vector),
-		Grants:      al.Grants,
-		CoAllocated: al.CoAllocated,
+		Instance:        s.instance,
+		Vector:          al.Point.Vector.Clone(),
+		Threads:         m.threadsFor(s, al.Point.Vector),
+		Grants:          al.Grants,
+		CoAllocated:     al.CoAllocated,
+		PredictedPowerW: al.Point.Power,
 	})
 }
 
@@ -480,6 +647,37 @@ func (m *Manager) push(s *session, d Decision) {
 	m.seq++
 	d.Seq = m.seq
 	s.last = &d
+	if m.cfg.Tracer.Enabled() { // guard: Key() builds a string
+		m.cfg.Tracer.Emit(telemetry.Event{
+			Kind:        telemetry.EvDecisionPushed,
+			Instance:    d.Instance,
+			App:         s.app,
+			Vector:      d.Vector.Key(),
+			Seq:         d.Seq,
+			Power:       d.PredictedPowerW,
+			Exploring:   d.Exploring,
+			CoAllocated: d.CoAllocated,
+			Vals:        [4]float64{float64(d.Threads), float64(len(d.Grants))},
+		})
+	}
+	if mt := m.cfg.Metrics; mt != nil {
+		mt.Decisions.Inc()
+		if d.Exploring {
+			mt.ExplorationSteps.Inc()
+		}
+	}
+	if m.cfg.Journal.Enabled() {
+		m.pendingOut = append(m.pendingOut, telemetry.EpochOutput{
+			Instance:    d.Instance,
+			Seq:         d.Seq,
+			Vector:      d.Vector.Key(),
+			Threads:     d.Threads,
+			Cores:       len(d.Grants),
+			Exploring:   d.Exploring,
+			CoAllocated: d.CoAllocated,
+			PredPowerW:  d.PredictedPowerW,
+		})
+	}
 	for _, fn := range m.onDecide {
 		fn(d)
 	}
@@ -554,7 +752,7 @@ func (m *Manager) Sessions() []SessionInfo {
 		if m.cfg.DisableExploration {
 			stage = explore.StageStable
 		}
-		out = append(out, SessionInfo{
+		info := SessionInfo{
 			Instance:    s.instance,
 			App:         s.app,
 			Adaptivity:  s.adaptivity,
@@ -563,7 +761,17 @@ func (m *Manager) Sessions() []SessionInfo {
 			CoAllocated: s.coAllocated,
 			Measured:    s.explorer.Table().MeasuredCount(),
 			Phase:       s.phase,
-		})
+			Utility:     s.lastUtility,
+			Power:       s.lastPower,
+		}
+		if s.last != nil {
+			info.Vector = s.last.Vector.Key()
+			info.Threads = s.last.Threads
+			info.Cores = len(s.last.Grants)
+			info.Seq = s.last.Seq
+			info.Exploring = s.last.Exploring
+		}
+		out = append(out, info)
 	}
 	return out
 }

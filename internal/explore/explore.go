@@ -15,6 +15,7 @@ import (
 	"github.com/harp-rm/harp/internal/opoint"
 	"github.com/harp-rm/harp/internal/platform"
 	"github.com/harp-rm/harp/internal/regress"
+	"github.com/harp-rm/harp/internal/telemetry"
 )
 
 // Stage is the maturity of an application's operating-point table (§5.3).
@@ -47,6 +48,12 @@ func (s Stage) String() string {
 	}
 }
 
+// MarshalJSON renders the stage by name, so session listings serialized for
+// harpctl read "stable" rather than a constant's value.
+func (s Stage) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
 // ErrNoCandidates is returned when no unmeasured configuration fits within
 // the exploration bound.
 var ErrNoCandidates = errors.New("explore: no candidate configurations within bound")
@@ -65,6 +72,10 @@ type Config struct {
 	// Model constructs the regression models for utility and power.
 	// Nil selects degree-2 polynomial regression.
 	Model regress.Factory
+	// Tracer receives EvExplorationStep/EvTableUpdated events (nil disables).
+	Tracer *telemetry.Tracer
+	// Instance labels this explorer's trace events (the session instance).
+	Instance string
 }
 
 func (c Config) withDefaults(nFeatures int) Config {
@@ -181,6 +192,16 @@ func (e *Explorer) Next(caps []int) (platform.ResourceVector, error) {
 	e.samples = 0
 	e.utilSum = 0
 	e.powerSum = 0
+	if e.cfg.Tracer.Enabled() { // guard: Key() builds a string
+		e.cfg.Tracer.Emit(telemetry.Event{
+			Kind:     telemetry.EvExplorationStep,
+			Instance: e.cfg.Instance,
+			App:      e.table.App,
+			Vector:   chosen.Key(),
+			Stage:    e.Stage().String(),
+			Seq:      len(candidates),
+		})
+	}
 	return chosen, nil
 }
 
@@ -205,6 +226,18 @@ func (e *Explorer) Record(utility, power float64) (done bool, err error) {
 		Measured: true,
 		Samples:  e.samples,
 	})
+	if e.cfg.Tracer.Enabled() {
+		e.cfg.Tracer.Emit(telemetry.Event{
+			Kind:     telemetry.EvTableUpdated,
+			Instance: e.cfg.Instance,
+			App:      e.table.App,
+			Vector:   e.current.Key(),
+			Stage:    e.Stage().String(),
+			Seq:      e.table.MeasuredCount(),
+			Utility:  e.utilSum / n,
+			Power:    e.powerSum / n,
+		})
+	}
 	e.hasCurrent = false
 	return true, nil
 }

@@ -16,6 +16,7 @@ import (
 
 	"github.com/harp-rm/harp/internal/mathx"
 	"github.com/harp-rm/harp/internal/sim"
+	"github.com/harp-rm/harp/internal/telemetry"
 )
 
 // DefaultSmoothing is the EMA factor from the paper (§5.1).
@@ -42,6 +43,12 @@ func WithSeed(seed int64) Option {
 // WithSmoothing overrides the EMA smoothing factor.
 func WithSmoothing(alpha float64) Option {
 	return optionFunc(func(m *Monitor) { m.alpha = alpha })
+}
+
+// WithTracer emits an EvMonitorSample event per Sample tick carrying the
+// per-kind busy hardware-thread seconds (nil disables tracing).
+func WithTracer(t *telemetry.Tracer) Option {
+	return optionFunc(func(m *Monitor) { m.tracer = t })
 }
 
 // Measurement is one per-application sample.
@@ -82,6 +89,7 @@ type Monitor struct {
 	noise   float64
 	alpha   float64
 	rng     *rand.Rand
+	tracer  *telemetry.Tracer
 
 	apps       map[sim.ProcID]*appState
 	lastEnergy sim.EnergyReading
@@ -322,6 +330,17 @@ func (m *Monitor) Sample() map[sim.ProcID]Measurement {
 			}
 			out[d.id] = m.finish(d.st, d.exec, d.used, joules, dt, multiplex)
 		}
+	}
+
+	if m.tracer.Enabled() {
+		ev := telemetry.Event{Kind: telemetry.EvMonitorSample, Seq: len(deltas)}
+		for k := range totalByKind {
+			if k >= len(ev.Vals) {
+				break
+			}
+			ev.Vals[k] = totalByKind[k]
+		}
+		m.tracer.Emit(ev)
 	}
 
 	m.lastEnergy = energy

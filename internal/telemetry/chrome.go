@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one record of the Chrome trace_event format (the JSON
+// array flavour understood by about:tracing and Perfetto).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant-event scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders the buffered events as a Chrome trace_event
+// JSON array. Decision/lifecycle events become instant events on one track
+// per session instance; measurement streams become counter tracks, so
+// Perfetto plots per-app utility/power and per-kind core occupancy over
+// the run.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	evs := t.Events()
+
+	tids := make(map[string]int)
+	tid := func(track string) int {
+		if track == "" {
+			track = "rm"
+		}
+		id, ok := tids[track]
+		if !ok {
+			id = len(tids) + 1
+			tids[track] = id
+		}
+		return id
+	}
+
+	out := make([]chromeEvent, 0, 2*len(evs)+8)
+	for _, ev := range evs {
+		ts := float64(ev.At.Microseconds())
+		track := ev.Instance
+		if track == "" {
+			track = ev.App
+		}
+		switch ev.Kind {
+		case EvMeasureSample:
+			out = append(out, chromeEvent{
+				Name: "smoothed " + track, Ph: "C", Ts: ts, Pid: 1, Tid: tid(track),
+				Args: map[string]any{"utility": ev.Utility, "power_w": ev.Power},
+			})
+		case EvAppSample:
+			out = append(out, chromeEvent{
+				Name: "raw " + track, Ph: "C", Ts: ts, Pid: 1, Tid: tid(track),
+				Args: map[string]any{"ips": ev.Utility, "power_w": ev.Power},
+			})
+		case EvMonitorSample:
+			args := make(map[string]any, len(ev.Vals))
+			for k, v := range ev.Vals {
+				args[fmt.Sprintf("kind%d_busy_s", k)] = v
+			}
+			out = append(out, chromeEvent{
+				Name: "core occupancy", Ph: "C", Ts: ts, Pid: 1, Tid: tid(""),
+				Args: args,
+			})
+		default:
+			args := map[string]any{}
+			if ev.Vector != "" {
+				args["vector"] = ev.Vector
+			}
+			if ev.Stage != "" {
+				args["stage"] = ev.Stage
+			}
+			if ev.Seq != 0 {
+				args["seq"] = ev.Seq
+			}
+			if ev.Exploring {
+				args["exploring"] = true
+			}
+			if ev.CoAllocated {
+				args["co_allocated"] = true
+			}
+			out = append(out, chromeEvent{
+				Name: ev.Kind.String(), Ph: "i", Ts: ts, Pid: 1, Tid: tid(track),
+				S: "t", Args: args,
+			})
+		}
+	}
+
+	// Thread-name metadata so tracks carry instance names, in tid order so
+	// the serialized trace is deterministic.
+	byID := make([]string, len(tids)+1)
+	for track, id := range tids {
+		byID[id] = track
+	}
+	for id := 1; id < len(byID); id++ {
+		out = append(out, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: id,
+			Args: map[string]any{"name": byID[id]},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

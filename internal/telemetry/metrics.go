@@ -1,0 +1,392 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. All methods are nil-safe
+// and lock-free.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 metric that can go up and down. All methods are
+// nil-safe and lock-free.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// GaugeVec is a family of gauges keyed by one label value (e.g. per-session
+// utility keyed by instance).
+type GaugeVec struct {
+	label string
+	mu    sync.Mutex
+	vals  map[string]*Gauge
+}
+
+// With returns the gauge for the label value, creating it on first use.
+// Callers on hot paths should cache the returned *Gauge. Nil-safe: returns
+// a nil *Gauge whose methods are no-ops.
+func (v *GaugeVec) With(value string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	g, ok := v.vals[value]
+	if !ok {
+		g = &Gauge{}
+		v.vals[value] = g
+	}
+	return g
+}
+
+// Delete drops the gauge for the label value (e.g. on session exit).
+func (v *GaugeVec) Delete(value string) {
+	if v == nil {
+		return
+	}
+	v.mu.Lock()
+	delete(v.vals, value)
+	v.mu.Unlock()
+}
+
+// Histogram counts observations into fixed cumulative buckets (Prometheus
+// classic histogram semantics: bucket i counts observations <= Buckets[i],
+// plus an implicit +Inf bucket). Observations are lock-free.
+type Histogram struct {
+	buckets []float64 // sorted upper bounds, exclusive of +Inf
+	counts  []atomic.Uint64
+	inf     atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits of the running sum, CAS-updated
+}
+
+// Observe records one observation. Nil-safe.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	idx := sort.SearchFloat64s(h.buckets, v)
+	if idx < len(h.buckets) {
+		h.counts[idx].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n + h.inf.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// metric is one registered instrument.
+type metric struct {
+	name string
+	help string
+	typ  string // "counter", "gauge", "histogram"
+	c    *Counter
+	g    *Gauge
+	gv   *GaugeVec
+	h    *Histogram
+}
+
+// Registry holds named metrics and renders them in Prometheus text format
+// or as an expvar map. The zero Registry is not usable; construct with
+// NewRegistry. A nil *Registry hands out nil instruments, which are valid
+// no-ops, so optional instrumentation needs no guards.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+	order   []string
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+func (r *Registry) register(name, help, typ string) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		return m
+	}
+	m := &metric{name: name, help: help, typ: typ}
+	r.metrics[name] = m
+	r.order = append(r.order, name)
+	return m
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	m := r.register(name, help, "counter")
+	if m.c == nil {
+		m.c = &Counter{}
+	}
+	return m.c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	m := r.register(name, help, "gauge")
+	if m.g == nil {
+		m.g = &Gauge{}
+	}
+	return m.g
+}
+
+// GaugeVec returns the named one-label gauge family, creating it on first
+// use.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	m := r.register(name, help, "gauge")
+	if m.gv == nil {
+		m.gv = &GaugeVec{label: label, vals: make(map[string]*Gauge)}
+	}
+	return m.gv
+}
+
+// Histogram returns the named histogram with the given bucket upper bounds
+// (sorted ascending, +Inf implicit), creating it on first use.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	m := r.register(name, help, "histogram")
+	if m.h == nil {
+		bs := append([]float64(nil), buckets...)
+		sort.Float64s(bs)
+		m.h = &Histogram{buckets: bs, counts: make([]atomic.Uint64, len(bs))}
+	}
+	return m.h
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (version 0.0.4), in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	ms := make([]*metric, len(names))
+	for i, n := range names {
+		ms[i] = r.metrics[n]
+	}
+	r.mu.Unlock()
+
+	for _, m := range ms {
+		if m.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help)
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.typ)
+		switch {
+		case m.c != nil:
+			fmt.Fprintf(w, "%s %d\n", m.name, m.c.Value())
+		case m.g != nil:
+			fmt.Fprintf(w, "%s %s\n", m.name, formatFloat(m.g.Value()))
+		case m.gv != nil:
+			m.gv.mu.Lock()
+			keys := make([]string, 0, len(m.gv.vals))
+			for k := range m.gv.vals {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(w, "%s{%s=%q} %s\n", m.name, m.gv.label, k, formatFloat(m.gv.vals[k].Value()))
+			}
+			m.gv.mu.Unlock()
+		case m.h != nil:
+			var cum uint64
+			for i, ub := range m.h.buckets {
+				cum += m.h.counts[i].Load()
+				fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.name, formatFloat(ub), cum)
+			}
+			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", m.name, m.h.Count())
+			fmt.Fprintf(w, "%s_sum %s\n", m.name, formatFloat(m.h.Sum()))
+			fmt.Fprintf(w, "%s_count %d\n", m.name, m.h.Count())
+		}
+	}
+}
+
+// formatFloat renders a float the way Prometheus clients do.
+func formatFloat(v float64) string {
+	s := fmt.Sprintf("%g", v)
+	return s
+}
+
+// snapshot returns a plain map view of every metric for expvar.
+func (r *Registry) snapshot() map[string]any {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	ms := make([]*metric, 0, len(r.order))
+	for _, n := range r.order {
+		ms = append(ms, r.metrics[n])
+	}
+	r.mu.Unlock()
+
+	out := make(map[string]any, len(ms))
+	for _, m := range ms {
+		switch {
+		case m.c != nil:
+			out[m.name] = m.c.Value()
+		case m.g != nil:
+			out[m.name] = m.g.Value()
+		case m.gv != nil:
+			m.gv.mu.Lock()
+			sub := make(map[string]float64, len(m.gv.vals))
+			for k, g := range m.gv.vals {
+				sub[k] = g.Value()
+			}
+			m.gv.mu.Unlock()
+			out[m.name] = sub
+		case m.h != nil:
+			out[m.name] = map[string]any{"count": m.h.Count(), "sum": m.h.Sum()}
+		}
+	}
+	return out
+}
+
+// PublishExpvar publishes the registry under the given expvar name
+// (served at /debug/vars). Publishing the same name twice is a no-op
+// rather than the package-level panic, so tests can build many servers.
+func (r *Registry) PublishExpvar(name string) {
+	if r == nil || expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.snapshot() }))
+}
+
+// Default bucket layouts for the adaptation loop's latencies.
+var (
+	// LatencyBuckets suit sub-millisecond allocator runs up to slow
+	// multi-application solves (seconds).
+	LatencyBuckets = []float64{1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1}
+	// JitterBuckets suit deviations from the 50 ms measure cadence.
+	JitterBuckets = []float64{1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 2.5e-2, 5e-2}
+)
+
+// Metrics bundles the adaptation-loop instruments the resource manager and
+// its embedders update. A nil *Metrics disables everything: the field
+// selectors below are only reached through nil-guarded call sites, and each
+// instrument is itself nil-safe.
+type Metrics struct {
+	// Registry backs the bundle (exported for /metrics handlers).
+	Registry *Registry
+
+	// Decisions counts pushed allocation decisions.
+	Decisions *Counter
+	// Reallocations counts system-wide allocation recomputations.
+	Reallocations *Counter
+	// Samples counts measurement samples fed to the RM.
+	Samples *Counter
+	// ExplorationSteps counts exploration configurations started.
+	ExplorationSteps *Counter
+	// Sessions gauges the registered session count.
+	Sessions *Gauge
+	// CoresGranted gauges the isolated physical cores currently granted.
+	CoresGranted *Gauge
+	// AllocLatency observes wall seconds per allocation (server only — the
+	// clock is injected, simulated runs skip it).
+	AllocLatency *Histogram
+	// MeasureJitter observes the absolute deviation of the measure loop from
+	// its cadence, in seconds.
+	MeasureJitter *Histogram
+	// SessionUtility and SessionPower gauge each session's smoothed
+	// utility/power EMA, labelled by instance.
+	SessionUtility *GaugeVec
+	SessionPower   *GaugeVec
+}
+
+// NewMetrics creates the standard instrument bundle on the registry.
+func NewMetrics(r *Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	return &Metrics{
+		Registry:         r,
+		Decisions:        r.Counter("harp_decisions_total", "Allocation decisions pushed to applications."),
+		Reallocations:    r.Counter("harp_reallocations_total", "System-wide allocation recomputations."),
+		Samples:          r.Counter("harp_measure_samples_total", "Measurement samples fed to the resource manager."),
+		ExplorationSteps: r.Counter("harp_exploration_steps_total", "Exploration configurations started."),
+		Sessions:         r.Gauge("harp_sessions", "Registered application sessions."),
+		CoresGranted:     r.Gauge("harp_cores_granted", "Isolated physical cores currently granted."),
+		AllocLatency:     r.Histogram("harp_allocation_seconds", "Wall time per system-wide allocation.", LatencyBuckets),
+		MeasureJitter:    r.Histogram("harp_measure_jitter_seconds", "Absolute deviation of the measure loop from its cadence.", JitterBuckets),
+		SessionUtility:   r.GaugeVec("harp_session_utility", "Smoothed per-session utility EMA.", "instance"),
+		SessionPower:     r.GaugeVec("harp_session_power_watts", "Smoothed per-session power EMA.", "instance"),
+	}
+}
