@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race bench bench-parallel trace-demo
+.PHONY: build test check race bench bench-parallel trace-demo fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -8,15 +8,22 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the CI gate: vet plus the full test suite under the race detector.
-# The race run covers the internal/parallel worker pool and every experiment
-# driver fanning units across it.
+# check is the pre-PR gate (run it before every pull request; CI runs the
+# same thing): vet plus the full test suite under the race detector. The race
+# run covers the internal/parallel worker pool, the session-resilience chaos
+# suites and every experiment driver fanning units across it.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
 race:
 	$(GO) test -race ./...
+
+# fuzz-smoke briefly runs each wire-protocol fuzzer — enough to catch framing
+# regressions on every push without a dedicated fuzzing farm.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzRead$$' -fuzztime 10s ./internal/proto/
+	$(GO) test -run '^$$' -fuzz '^FuzzWrite$$' -fuzztime 10s ./internal/proto/
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

@@ -164,12 +164,16 @@ func runScenario(args []string, out io.Writer) error {
 		for _, ev := range res.Timeline {
 			mode := "stable"
 			switch {
+			case len(ev.Cores) == 0 && ev.VectorKey == "":
+				mode = "session-end"
+			case len(ev.Cores) == 0:
+				mode = "parked"
 			case ev.Exploring:
 				mode = "explore"
 			case ev.CoAllocated:
 				mode = "co-alloc"
 			}
-			fmt.Fprintf(out, "  %8.2fs %-22s %-10s vector %-10s threads %d\n",
+			fmt.Fprintf(out, "  %8.2fs %-22s %-11s vector %-10s threads %d\n",
 				ev.AtSec, ev.Instance, mode, ev.VectorKey, ev.Threads)
 		}
 	}

@@ -112,16 +112,18 @@ func renderJSON(out io.Writer, resp map[string]json.RawMessage) error {
 // `harpctl status`.
 func renderStatus(out io.Writer, resp map[string]json.RawMessage) error {
 	var sessions []struct {
-		Instance  string
-		App       string
-		Stage     string
-		Phase     string
-		Utility   float64
-		Power     float64
-		Vector    string
-		Threads   int
-		Cores     int
-		Exploring bool
+		Instance         string
+		App              string
+		Stage            string
+		Phase            string
+		Liveness         int
+		LastReportAgeSec float64
+		Utility          float64
+		Power            float64
+		Vector           string
+		Threads          int
+		Cores            int
+		Exploring        bool
 	}
 	if err := json.Unmarshal(resp["sessions"], &sessions); err != nil {
 		return err
@@ -130,8 +132,8 @@ func renderStatus(out io.Writer, resp map[string]json.RawMessage) error {
 		fmt.Fprintln(out, "no sessions")
 		return nil
 	}
-	fmt.Fprintf(out, "%-22s %-14s %-11s %10s %9s  %-12s %7s %5s\n",
-		"INSTANCE", "APP", "STAGE", "UTILITY", "POWER[W]", "VECTOR", "THREADS", "CORES")
+	fmt.Fprintf(out, "%-22s %-14s %-11s %-11s %6s %10s %9s  %-12s %7s %5s\n",
+		"INSTANCE", "APP", "STAGE", "LIVENESS", "AGE", "UTILITY", "POWER[W]", "VECTOR", "THREADS", "CORES")
 	for _, s := range sessions {
 		stage := s.Stage
 		if s.Exploring {
@@ -141,10 +143,35 @@ func renderStatus(out io.Writer, resp map[string]json.RawMessage) error {
 		if vector == "" {
 			vector = "-"
 		}
-		fmt.Fprintf(out, "%-22s %-14s %-11s %10.1f %9.1f  %-12s %7d %5d\n",
-			s.Instance, s.App, stage, s.Utility, s.Power, vector, s.Threads, s.Cores)
+		fmt.Fprintf(out, "%-22s %-14s %-11s %-11s %6s %10.1f %9.1f  %-12s %7d %5d\n",
+			s.Instance, s.App, stage, livenessName(s.Liveness), ageLabel(s.LastReportAgeSec),
+			s.Utility, s.Power, vector, s.Threads, s.Cores)
 	}
 	return nil
+}
+
+// livenessName renders the numeric core.Liveness enum carried over the
+// control socket.
+func livenessName(l int) string {
+	switch l {
+	case 0:
+		return "live"
+	case 1:
+		return "suspect"
+	case 2:
+		return "quarantined"
+	default:
+		return fmt.Sprintf("state-%d", l)
+	}
+}
+
+// ageLabel formats the seconds since the session's last report; the daemon
+// sends a negative age when it does not track liveness.
+func ageLabel(sec float64) string {
+	if sec < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1fs", sec)
 }
 
 // renderTrace prints one line per event for `harpctl trace tail`.

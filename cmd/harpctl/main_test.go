@@ -40,8 +40,14 @@ func fakeHarpd(t *testing.T) string {
 				case "sessions":
 					_ = enc.Encode(map[string]any{"sessions": []map[string]any{{
 						"Instance": "ep.C/1", "App": "ep.C", "Stage": "stable",
+						"Liveness": 0, "LastReportAgeSec": 0.2,
 						"Utility": 123.4, "Power": 37.5,
 						"Vector": "P6", "Threads": 6, "Cores": 3,
+					}, {
+						"Instance": "cg.C/2", "App": "cg.C", "Stage": "stable",
+						"Liveness": 2, "LastReportAgeSec": 4.8,
+						"Utility": 0.0, "Power": 0.0,
+						"Vector": "", "Threads": 0, "Cores": 0,
 					}}})
 				case "trace":
 					_ = enc.Encode(map[string]any{
@@ -103,10 +109,31 @@ func TestStatusCommand(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, want := range []string{"INSTANCE", "UTILITY", "ep.C/1", "stable", "123.4", "37.5", "P6"} {
+	for _, want := range []string{
+		"INSTANCE", "UTILITY", "LIVENESS", "AGE",
+		"ep.C/1", "stable", "123.4", "37.5", "P6", "0.2s",
+		"cg.C/2", "quarantined", "4.8s",
+	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("status output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestStatusWithoutLivenessTracking renders "-" for the report age when the
+// daemon does not track liveness (it sends a negative age).
+func TestStatusWithoutLivenessTracking(t *testing.T) {
+	if got := ageLabel(-1); got != "-" {
+		t.Errorf("ageLabel(-1) = %q, want -", got)
+	}
+	if got := ageLabel(1.25); got != "1.2s" {
+		t.Errorf("ageLabel(1.25) = %q, want 1.2s", got)
+	}
+	if got := livenessName(1); got != "suspect" {
+		t.Errorf("livenessName(1) = %q, want suspect", got)
+	}
+	if got := livenessName(9); got != "state-9" {
+		t.Errorf("livenessName(9) = %q, want state-9", got)
 	}
 }
 

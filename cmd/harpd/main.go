@@ -6,8 +6,13 @@
 // Usage:
 //
 //	harpd -platform intel -socket /run/harp.sock -control /run/harpctl.sock \
-//	      -config /etc/harp [-no-exploration] \
+//	      -config /etc/harp [-no-exploration] [-liveness] \
+//	      [-suspect-after 1s -quarantine-after 3s -reap-after 10s] \
 //	      [-telemetry 127.0.0.1:9140] [-journal /var/log/harp/journal.jsonl]
+//
+// -liveness enables session health tracking (suspect → quarantine → reap,
+// see RESILIENCE.md); the three deadline flags tune it and imply -liveness on
+// their own. harpctl status shows each session's state and report age.
 //
 // The daemon always keeps a ring buffer of adaptation-loop events (harpctl
 // trace) and a metrics registry. -telemetry additionally serves them over
@@ -32,8 +37,10 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"github.com/harp-rm/harp/harp"
+	"github.com/harp-rm/harp/internal/core"
 	"github.com/harp-rm/harp/internal/telemetry"
 )
 
@@ -52,6 +59,11 @@ func run(args []string) error {
 		controlPath   = fs.String("control", "/tmp/harpctl.sock", "Unix socket for harpctl")
 		configDir     = fs.String("config", "", "configuration directory (hardware description, opoints/)")
 		noExploration = fs.Bool("no-exploration", false, "disable online exploration (HARP Offline)")
+		liveness      = fs.Bool("liveness", false, "enable session liveness tracking with the default deadlines (see RESILIENCE.md)")
+		suspectAfter  = fs.Duration("suspect-after", 0, "mark sessions suspect after this much silence (implies -liveness)")
+		quarantine    = fs.Duration("quarantine-after", 0, "quarantine sessions after this much silence (implies -liveness)")
+		reapAfter     = fs.Duration("reap-after", 0, "deregister sessions after this much silence (implies -liveness)")
+		writeTimeout  = fs.Duration("write-timeout", 0, "per-message write deadline on session sockets (0 = default, negative = none)")
 		telemetryAddr = fs.String("telemetry", "", "HTTP address for /metrics, /debug/vars and /debug/pprof/ (empty = off)")
 		journalPath   = fs.String("journal", "", "append per-epoch decision records (JSONL) to this file (empty = off)")
 		traceBuffer   = fs.Int("trace-buffer", 0, "event ring capacity for harpctl trace (0 = default)")
@@ -78,10 +90,17 @@ func run(args []string) error {
 		journal = telemetry.NewJournal(f)
 	}
 
+	policy, err := livenessPolicy(*liveness, *suspectAfter, *quarantine, *reapAfter)
+	if err != nil {
+		return err
+	}
+
 	srv, err := harp.NewServer(harp.ServerConfig{
 		Platform:           plat,
 		ConfigDir:          *configDir,
 		DisableExploration: *noExploration || !plat.SimultaneousPMU,
+		Liveness:           policy,
+		WriteTimeout:       *writeTimeout,
 		Tracer:             tracer,
 		Metrics:            metrics,
 		Journal:            journal,
@@ -116,6 +135,30 @@ func run(args []string) error {
 
 	fmt.Printf("harpd: managing %s on %s (control %s)\n", plat, *socketPath, *controlPath)
 	return srv.ListenAndServe(*socketPath)
+}
+
+// livenessPolicy builds the session-liveness deadlines from the flags:
+// -liveness enables the defaults, any explicit deadline overrides its default
+// (and enables tracking on its own). The server validates the ordering again;
+// checking here yields a flag-level error message.
+func livenessPolicy(enabled bool, suspect, quarantine, reap time.Duration) (core.LivenessPolicy, error) {
+	if !enabled && suspect == 0 && quarantine == 0 && reap == 0 {
+		return core.LivenessPolicy{}, nil
+	}
+	p := core.DefaultLivenessPolicy()
+	if suspect > 0 {
+		p.SuspectAfter = suspect
+	}
+	if quarantine > 0 {
+		p.QuarantineAfter = quarantine
+	}
+	if reap > 0 {
+		p.ReapAfter = reap
+	}
+	if err := p.Validate(); err != nil {
+		return core.LivenessPolicy{}, err
+	}
+	return p, nil
 }
 
 // telemetryMux serves the observability endpoints: Prometheus text,

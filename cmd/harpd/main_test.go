@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"github.com/harp-rm/harp/harp"
+	"github.com/harp-rm/harp/internal/core"
 	"github.com/harp-rm/harp/internal/platform"
 	"github.com/harp-rm/harp/internal/telemetry"
 )
@@ -142,6 +143,23 @@ func TestControlUnknownOp(t *testing.T) {
 func TestRunFlagValidation(t *testing.T) {
 	if err := run([]string{"-platform", "does-not-exist"}); err == nil {
 		t.Error("unknown platform accepted")
+	}
+}
+
+func TestLivenessPolicyFlags(t *testing.T) {
+	if p, err := livenessPolicy(false, 0, 0, 0); err != nil || p.Enabled() {
+		t.Errorf("flags off: policy = %+v, err = %v, want disabled", p, err)
+	}
+	p, err := livenessPolicy(true, 0, 0, 0)
+	if err != nil || p != core.DefaultLivenessPolicy() {
+		t.Errorf("-liveness: policy = %+v, err = %v, want defaults", p, err)
+	}
+	p, err = livenessPolicy(false, 0, 0, 30*time.Second)
+	if err != nil || p.ReapAfter != 30*time.Second || p.SuspectAfter != core.DefaultLivenessPolicy().SuspectAfter {
+		t.Errorf("-reap-after alone: policy = %+v, err = %v, want defaults with 30s reap", p, err)
+	}
+	if _, err := livenessPolicy(false, 5*time.Second, time.Second, 0); err == nil {
+		t.Error("suspect > quarantine accepted")
 	}
 }
 

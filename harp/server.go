@@ -21,6 +21,15 @@ import (
 // DefaultMeasureEvery is the monitoring cadence (§5.3: 50 ms).
 const DefaultMeasureEvery = 50 * time.Millisecond
 
+// DefaultWriteTimeout bounds one framed write to a session connection, so a
+// stuck client cannot wedge the decision-push path.
+const DefaultWriteTimeout = 2 * time.Second
+
+// maxProbeFailures is how many consecutive failed writes (decision pushes,
+// utility polls or liveness pings) reap a session ahead of its silence
+// deadline: the connection is demonstrably broken, not merely quiet.
+const maxProbeFailures = 3
+
 // Sampler supplies per-application utility and power measurements for
 // sessions that do not report their own utility. A production deployment
 // backs this with Linux perf (IPS) and RAPL-based attribution; tests and
@@ -60,6 +69,14 @@ type ServerConfig struct {
 	// Metrics receives the adaptation-loop instruments, including the
 	// allocation-latency and measure-loop-jitter histograms (nil disables).
 	Metrics *telemetry.Metrics
+	// Liveness sets the silence deadlines for the suspect → quarantine →
+	// reap escalation. The zero value disables liveness tracking: sessions
+	// then end only on exit or reader EOF (the pre-resilience behaviour).
+	// See core.DefaultLivenessPolicy for sensible deadlines.
+	Liveness core.LivenessPolicy
+	// WriteTimeout bounds each framed write to a session connection
+	// (0 = DefaultWriteTimeout, negative = no deadline).
+	WriteTimeout time.Duration
 }
 
 // LoadPlatform resolves a platform: a built-in name ("intel", "odroid", …)
@@ -77,16 +94,34 @@ type serverSession struct {
 	pid      int
 	own      bool
 
-	mu          sync.Mutex // guards conn writes
+	mu          sync.Mutex // guards conn writes and the liveness fields
 	conn        net.Conn
 	lastUtility float64
 	hasUtility  bool
 	lastReport  time.Time
 
+	// Liveness bookkeeping: lastSeen is bumped by every inbound message,
+	// probeFails counts consecutive failed writes, and forceSuspect pins the
+	// session in the suspect state for the reaper after a failed utility
+	// poll or decision push (cleared by inbound traffic).
+	lastSeen     time.Time
+	probeFails   int
+	forceSuspect bool
+
 	// Decisions pushed before the registration ack has been written are
 	// buffered so the client always sees the ack first.
 	ready   bool
 	pending *proto.Activate
+}
+
+// alive records inbound traffic: the peer is demonstrably there, so failed
+// probes and forced suspicion are forgotten.
+func (sess *serverSession) alive(now time.Time) {
+	sess.mu.Lock()
+	sess.lastSeen = now
+	sess.probeFails = 0
+	sess.forceSuspect = false
+	sess.mu.Unlock()
 }
 
 // Server is the HARP resource manager daemon: it accepts libharp
@@ -116,6 +151,12 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	}
 	if cfg.MeasureEvery == 0 {
 		cfg.MeasureEvery = DefaultMeasureEvery
+	}
+	if err := cfg.Liveness.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = DefaultWriteTimeout
 	}
 	var offline map[string]*opoint.Table
 	if cfg.ConfigDir != "" {
@@ -252,11 +293,23 @@ func (s *Server) Close() error {
 	return nil
 }
 
-// Sessions returns the registered sessions' summaries (for harpctl).
+// Sessions returns the registered sessions' summaries (for harpctl), with
+// each session's last-report age overlaid from the connection bookkeeping.
 func (s *Server) Sessions() []core.SessionInfo {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.mgr.Sessions()
+	infos := s.mgr.Sessions()
+	now := time.Now()
+	for i := range infos {
+		sess, ok := s.sessions[infos[i].Instance]
+		if !ok {
+			continue
+		}
+		sess.mu.Lock()
+		infos[i].LastReportAgeSec = now.Sub(sess.lastSeen).Seconds()
+		sess.mu.Unlock()
+	}
+	return infos
 }
 
 // TableSnapshot returns a session's operating-point table (for harpctl).
@@ -266,7 +319,8 @@ func (s *Server) TableSnapshot(instance string) (*opoint.Table, error) {
 	return s.mgr.Table(instance)
 }
 
-// measureLoop is the 50 ms monitoring cadence.
+// measureLoop is the 50 ms monitoring cadence; each tick also runs the
+// liveness sweep when a policy is configured.
 func (s *Server) measureLoop() {
 	defer close(s.done)
 	ticker := time.NewTicker(s.cfg.MeasureEvery)
@@ -285,6 +339,7 @@ func (s *Server) measureLoop() {
 				last = now
 			}
 			s.measureOnce()
+			s.livenessSweep()
 		case <-s.stop:
 			return
 		}
@@ -315,20 +370,90 @@ func (s *Server) measureOnce() {
 				}
 			}
 			stale := !sess.hasUtility || now.Sub(sess.lastReport) > 4*s.cfg.MeasureEvery
-			var pollErr error
 			if stale && sess.ready {
 				// Periodically request the current utility from libharp
 				// (§4.1.1 step 4) when the application has not pushed one
-				// recently.
-				pollErr = proto.Write(sess.conn, proto.MsgUtilityRequest, nil)
+				// recently. A failed poll marks the session suspect for the
+				// reaper (writeLocked records the failure) instead of
+				// waiting for the reader to notice the broken peer.
+				_ = s.writeLocked(sess, proto.MsgUtilityRequest, nil)
 			}
 			sess.mu.Unlock()
-			_ = pollErr // broken connections are reaped by the reader
 		}
 		if !have {
 			continue
 		}
 		_ = s.mgr.Measure(instance, utility, power)
+	}
+}
+
+// writeLocked writes one framed message to the session connection under the
+// configured write deadline. A failure counts a probe strike and pins the
+// session suspect for the reaper. Callers hold sess.mu.
+func (s *Server) writeLocked(sess *serverSession, typ proto.MsgType, body any) error {
+	if d := s.cfg.WriteTimeout; d > 0 {
+		_ = sess.conn.SetWriteDeadline(time.Now().Add(d))
+		defer sess.conn.SetWriteDeadline(time.Time{})
+	}
+	err := proto.Write(sess.conn, typ, body)
+	if err != nil {
+		sess.probeFails++
+		sess.forceSuspect = true
+		if mt := s.cfg.Metrics; mt != nil {
+			mt.WriteTimeouts.Inc()
+		}
+	}
+	return err
+}
+
+// livenessSweep escalates silent sessions through suspect → quarantined →
+// reaped, probes suspects with a ping, and readmits sessions whose traffic
+// resumed. One sweep runs per measure tick, so a crashed session's cores are
+// reclaimed within a bounded number of epochs after its reap deadline.
+func (s *Server) livenessSweep() {
+	if !s.cfg.Liveness.Enabled() {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := time.Now()
+	for instance, sess := range s.sessions {
+		sess.mu.Lock()
+		age := now.Sub(sess.lastSeen)
+		fails := sess.probeFails
+		forced := sess.forceSuspect
+		ready := sess.ready
+		sess.mu.Unlock()
+		if !ready {
+			continue // still inside the registration handshake
+		}
+
+		if s.cfg.Liveness.ShouldReap(age) || fails >= maxProbeFailures {
+			delete(s.sessions, instance)
+			_ = s.mgr.Reap(instance)
+			// Closing the connection ends the reader goroutine; its deferred
+			// cleanup sees the session already replaced and stands down.
+			_ = sess.conn.Close()
+			continue
+		}
+
+		state := s.cfg.Liveness.StateFor(age)
+		reason := "silent"
+		if forced && state == core.LivenessLive {
+			state, reason = core.LivenessSuspect, "write-failed"
+		}
+		switch state {
+		case core.LivenessQuarantined:
+			_ = s.mgr.SetLiveness(instance, core.LivenessQuarantined, reason)
+		case core.LivenessSuspect:
+			_ = s.mgr.SetLiveness(instance, core.LivenessSuspect, reason)
+			// Probe: a live client answers with a pong, resetting lastSeen.
+			sess.mu.Lock()
+			_ = s.writeLocked(sess, proto.MsgPing, nil)
+			sess.mu.Unlock()
+		default:
+			_ = s.mgr.SetLiveness(instance, core.LivenessLive, "resumed")
+		}
 	}
 }
 
@@ -353,17 +478,30 @@ func (s *Server) handleConn(conn net.Conn) {
 		return
 	}
 	instance := fmt.Sprintf("%s/%d", reg.App, reg.PID)
-	sess := &serverSession{instance: instance, pid: reg.PID, own: reg.OwnUtility, conn: conn}
+	sess := &serverSession{
+		instance: instance,
+		pid:      reg.PID,
+		own:      reg.OwnUtility,
+		conn:     conn,
+		lastSeen: time.Now(),
+	}
 
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return
 	}
-	s.sessions[instance] = sess
-	err = s.mgr.Register(instance, reg.App, adaptivity, reg.OwnUtility)
-	if err != nil {
-		delete(s.sessions, instance)
+	if _, exists := s.sessions[instance]; exists {
+		// A live session already owns this instance (e.g. a reconnecting
+		// client racing the reaper): reject without disturbing it. The
+		// client retries after the old session is reaped.
+		err = fmt.Errorf("%w: %s", core.ErrDuplicateSession, instance)
+	} else {
+		s.sessions[instance] = sess
+		err = s.mgr.Register(instance, reg.App, adaptivity, reg.OwnUtility)
+		if err != nil {
+			delete(s.sessions, instance)
+		}
 	}
 	s.mu.Unlock()
 
@@ -372,9 +510,9 @@ func (s *Server) handleConn(conn net.Conn) {
 		ack.Error = err.Error()
 	}
 	sess.mu.Lock()
-	writeErr := proto.Write(conn, proto.MsgRegisterAck, ack)
+	writeErr := s.writeLocked(sess, proto.MsgRegisterAck, ack)
 	if writeErr == nil && sess.pending != nil {
-		writeErr = proto.Write(conn, proto.MsgActivate, *sess.pending)
+		writeErr = s.writeLocked(sess, proto.MsgActivate, *sess.pending)
 		sess.pending = nil
 	}
 	sess.ready = true
@@ -385,8 +523,12 @@ func (s *Server) handleConn(conn net.Conn) {
 
 	defer func() {
 		s.mu.Lock()
-		delete(s.sessions, instance)
-		_ = s.mgr.Deregister(instance)
+		// The liveness reaper may have replaced this session with a fresh
+		// registration of the same instance; only clean up our own entry.
+		if cur, ok := s.sessions[instance]; ok && cur == sess {
+			delete(s.sessions, instance)
+			_ = s.mgr.Deregister(instance)
+		}
 		s.mu.Unlock()
 	}()
 
@@ -395,6 +537,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		if err != nil {
 			return // EOF or broken peer: deregister via the deferred cleanup
 		}
+		sess.alive(time.Now())
 		switch env.Type {
 		case proto.MsgOperatingPoints:
 			var up proto.OperatingPoints
@@ -422,6 +565,9 @@ func (s *Server) handleConn(conn net.Conn) {
 			s.mu.Lock()
 			_ = s.mgr.PhaseChange(instance, pc.Phase)
 			s.mu.Unlock()
+		case proto.MsgPong:
+			// Heartbeat answer to a liveness probe; sess.alive above already
+			// recorded the traffic.
 		case proto.MsgExit:
 			return
 		default:
@@ -452,9 +598,9 @@ func (s *Server) pushDecision(d core.Decision) {
 		sess.pending = &act
 		return
 	}
-	if err := proto.Write(sess.conn, proto.MsgActivate, act); err != nil && !errors.Is(err, io.EOF) {
-		// The reader goroutine will notice the broken connection and
-		// deregister; nothing else to do here.
+	if err := s.writeLocked(sess, proto.MsgActivate, act); err != nil && !errors.Is(err, io.EOF) {
+		// writeLocked marked the session suspect; the reaper (or the reader
+		// goroutine, whichever notices first) will deregister it.
 		return
 	}
 }

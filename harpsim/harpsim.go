@@ -10,7 +10,9 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/harp-rm/harp/internal/core"
 	"github.com/harp-rm/harp/internal/explore"
+	"github.com/harp-rm/harp/internal/faultsim"
 	"github.com/harp-rm/harp/internal/opoint"
 	"github.com/harp-rm/harp/internal/parallel"
 	"github.com/harp-rm/harp/internal/platform"
@@ -153,6 +155,15 @@ type Options struct {
 	// allocation-latency histogram stays empty: wall time would measure the
 	// host, not the simulated system.
 	Metrics *telemetry.Metrics
+	// Liveness sets the RM's silence deadlines on the simulator's virtual
+	// clock: a session whose measurements stop flowing is suspected,
+	// quarantined (cores reclaimed, learning frozen) and finally reaped.
+	// The zero value disables liveness tracking.
+	Liveness core.LivenessPolicy
+	// Faults schedules deterministic client failures (crashes, hangs,
+	// dropouts) against the managed instances. Same plan, same seed, same
+	// scenario → byte-identical decision journals. Nil disables injection.
+	Faults *faultsim.Plan
 }
 
 // TimelineEvent is one applied allocation decision.
@@ -165,6 +176,10 @@ type TimelineEvent struct {
 	VectorKey string
 	// Threads is the applied parallelisation degree (0 = unchanged).
 	Threads int
+	// Cores lists the granted core IDs (empty for parked decisions and for
+	// the session-clearing events recorded on reap, deregistration and
+	// exit — an empty grant ends the instance's standing allocation).
+	Cores []int
 	// Exploring marks exploration configurations.
 	Exploring bool
 	// CoAllocated marks time-shared allocations.

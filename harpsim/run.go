@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/harp-rm/harp/internal/core"
+	"github.com/harp-rm/harp/internal/faultsim"
 	"github.com/harp-rm/harp/internal/monitor"
 	"github.com/harp-rm/harp/internal/sched"
 	"github.com/harp-rm/harp/internal/sim"
@@ -18,6 +19,12 @@ import (
 func Run(sc Scenario, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.Liveness.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.Faults.Validate(); err != nil {
 		return nil, err
 	}
 
@@ -126,10 +133,31 @@ type harpHarness struct {
 	stableAtSec float64
 	timeline    []TimelineEvent
 
+	// Resilience state, all on the machine's virtual clock. sessionUp mirrors
+	// whether the instance currently holds an RM session (false between a
+	// reap and a reconnect); lastSeen is the virtual time of the last
+	// measurement fed to the RM; muted holds the active fault per victim.
+	liveness  core.LivenessPolicy
+	faults    *faultsim.Cursor
+	sessionUp map[string]bool
+	lastSeen  map[string]time.Duration
+	muted     map[string]*muteState
+	// trackSessions adds session-clearing events (reap, deregister, exit) to
+	// the timeline so chaos tests can replay standing allocations. Only set
+	// for resilience runs, keeping legacy timelines decision-only.
+	trackSessions bool
+
 	// repeat-mode state (LearnTables)
 	repeat       bool
 	repeatUntil  time.Duration
 	restartCount map[string]int
+}
+
+// muteState is one in-flight session fault: the victim's measurements stop
+// flowing until the deadline passes (until < 0 = forever, a crash).
+type muteState struct {
+	until     time.Duration
+	reconnect bool // re-register once the mute lifts (dropout/disconnect)
 }
 
 // attachHARP connects the RM to a machine.
@@ -165,6 +193,12 @@ func attachHARP(machine *sim.Machine, sc Scenario, opts Options) (*harpHarness, 
 		energyAt:     make(map[string]float64),
 		stableAtSec:  -1,
 		restartCount: make(map[string]int),
+		liveness:     opts.Liveness,
+		faults:       opts.Faults.Cursor(),
+		sessionUp:     make(map[string]bool),
+		lastSeen:      make(map[string]time.Duration),
+		muted:         make(map[string]*muteState),
+		trackSessions: opts.Liveness.Enabled() || opts.Faults != nil,
 	}
 	h.buildTopology()
 
@@ -218,6 +252,8 @@ func (h *harpHarness) register(p *sim.Proc) {
 		h.mon.Untrack(p.ID())
 		return
 	}
+	h.sessionUp[p.Name()] = true
+	h.lastSeen[p.Name()] = h.machine.Now()
 	h.retax()
 }
 
@@ -243,11 +279,13 @@ func (h *harpHarness) applyDecision(d core.Decision) {
 	if !ok || p.Done() {
 		return
 	}
+	var cores []int
 	var hws []sim.HWThread
 	for _, g := range d.Grants {
 		if g.Core < 0 || g.Core >= len(h.coreToHW) {
 			continue
 		}
+		cores = append(cores, g.Core)
 		siblings := h.coreToHW[g.Core]
 		n := g.Threads
 		if n > len(siblings) {
@@ -256,6 +294,11 @@ func (h *harpHarness) applyDecision(d core.Decision) {
 		hws = append(hws, siblings[:n]...)
 	}
 	if len(hws) == 0 {
+		// A parked decision (quarantine): the RM reclaimed every core. The
+		// simulated process keeps its last affinity — a real unmanaged app
+		// keeps running too — but the standing grant is gone, which the
+		// timeline records as an empty allocation.
+		h.recordTimeline(d.Instance, d.Vector.Key(), d.Threads, nil, d.Exploring, d.CoAllocated)
 		return
 	}
 	if err := h.machine.SetAffinity(p.ID(), hws); err != nil {
@@ -265,16 +308,23 @@ func (h *harpHarness) applyDecision(d core.Decision) {
 	if d.Threads > 0 && h.opts.Policy != PolicyHARPNoScaling {
 		_ = h.machine.SetThreads(p.ID(), d.Threads)
 	}
-	if h.opts.RecordTimeline {
-		h.timeline = append(h.timeline, TimelineEvent{
-			AtSec:       h.machine.Now().Seconds(),
-			Instance:    d.Instance,
-			VectorKey:   d.Vector.Key(),
-			Threads:     d.Threads,
-			Exploring:   d.Exploring,
-			CoAllocated: d.CoAllocated,
-		})
+	h.recordTimeline(d.Instance, d.Vector.Key(), d.Threads, cores, d.Exploring, d.CoAllocated)
+}
+
+// recordTimeline appends one applied decision when timeline capture is on.
+func (h *harpHarness) recordTimeline(instance, vectorKey string, threads int, cores []int, exploring, coAlloc bool) {
+	if !h.opts.RecordTimeline {
+		return
 	}
+	h.timeline = append(h.timeline, TimelineEvent{
+		AtSec:       h.machine.Now().Seconds(),
+		Instance:    instance,
+		VectorKey:   vectorKey,
+		Threads:     threads,
+		Cores:       cores,
+		Exploring:   exploring,
+		CoAllocated: coAlloc,
+	})
 }
 
 // instances returns the managed instance names in sorted order, rebuilding
@@ -291,11 +341,19 @@ func (h *harpHarness) instances() []string {
 	return h.instOrder
 }
 
-// measureTick is the 50 ms monitoring cadence: sample every managed app and
-// feed the RM (in deterministic instance order).
+// measureTick is the 50 ms monitoring cadence: inject due faults, sample
+// every managed app and feed the RM (in deterministic instance order), then
+// run the liveness sweep.
 func (h *harpHarness) measureTick(now time.Duration) {
+	h.injectFaults(now)
 	samples := h.mon.Sample()
 	for _, instance := range h.instances() {
+		if h.mutedAt(instance, now) {
+			continue // the fault severed this instance's libharp channel
+		}
+		if !h.sessionUp[instance] {
+			continue // reaped and not (yet) reconnected
+		}
 		p := h.managed[instance]
 		meas, ok := samples[p.ID()]
 		if !ok {
@@ -317,17 +375,111 @@ func (h *harpHarness) measureTick(now time.Duration) {
 			})
 		}
 		_ = h.mgr.Measure(instance, utility, meas.SmoothedPower)
+		h.lastSeen[instance] = now
 	}
+	h.livenessSweep(now)
 	if h.stableAtSec < 0 && len(h.managed) > 0 && h.mgr.AllStable() {
 		h.stableAtSec = now.Seconds()
+	}
+}
+
+// injectFaults delivers every fault that has come due on the virtual clock.
+// Connection-level kinds that have no session analogue in the simulator
+// (slow readers, delayed writes) are ignored; a disconnect is a dropout of
+// one measure interval.
+func (h *harpHarness) injectFaults(now time.Duration) {
+	for _, f := range h.faults.Due(now) {
+		p, ok := h.managed[f.Target]
+		if !ok || p.Done() {
+			continue
+		}
+		switch f.Kind {
+		case faultsim.KindCrash:
+			h.muted[f.Target] = &muteState{until: -1}
+		case faultsim.KindHang:
+			h.muted[f.Target] = &muteState{until: now + f.Duration}
+		case faultsim.KindDropout:
+			h.muted[f.Target] = &muteState{until: now + f.Duration, reconnect: true}
+		case faultsim.KindDisconnect:
+			h.muted[f.Target] = &muteState{until: now + h.opts.MeasureEvery, reconnect: true}
+		}
+	}
+}
+
+// mutedAt reports whether the instance's libharp channel is severed at now,
+// lifting expired mutes and re-registering dropout victims whose session the
+// reaper collected in the meantime (the simulated auto-reconnect).
+func (h *harpHarness) mutedAt(instance string, now time.Duration) bool {
+	ms, ok := h.muted[instance]
+	if !ok {
+		return false
+	}
+	if ms.until < 0 || now < ms.until {
+		return true
+	}
+	delete(h.muted, instance)
+	if ms.reconnect && !h.sessionUp[instance] {
+		h.reconnectSession(instance, now)
+	}
+	return false
+}
+
+// reconnectSession re-registers a dropout victim, the harness-side analogue
+// of libharp's auto-reconnect after a server- or network-induced session
+// loss.
+func (h *harpHarness) reconnectSession(instance string, now time.Duration) {
+	p := h.managed[instance]
+	if p == nil || p.Done() {
+		return
+	}
+	prof := p.Profile()
+	if err := h.mgr.Register(instance, prof.Name, prof.Adaptivity, prof.OwnUtility); err != nil {
+		return
+	}
+	h.sessionUp[instance] = true
+	h.lastSeen[instance] = now
+}
+
+// livenessSweep escalates silent sessions on the virtual clock: suspect →
+// quarantined (cores reclaimed, learning frozen) → reaped. Runs once per
+// measure tick, so reclamation is bounded by ReapAfter plus one tick.
+func (h *harpHarness) livenessSweep(now time.Duration) {
+	if !h.liveness.Enabled() {
+		return
+	}
+	for _, instance := range h.instances() {
+		if !h.sessionUp[instance] {
+			continue
+		}
+		age := now - h.lastSeen[instance]
+		if h.liveness.ShouldReap(age) {
+			h.sessionUp[instance] = false
+			_ = h.mgr.Reap(instance)
+			h.recordTimeline(instance, "", 0, nil, false, false)
+			continue
+		}
+		state := h.liveness.StateFor(age)
+		reason := "silent"
+		if state == core.LivenessLive {
+			reason = "resumed"
+		}
+		_ = h.mgr.SetLiveness(instance, state, reason)
 	}
 }
 
 func (h *harpHarness) onExit(p *sim.Proc) {
 	if _, ok := h.managed[p.Name()]; ok {
 		h.energyAt[p.Name()] = h.mon.Untrack(p.ID())
-		_ = h.mgr.Deregister(p.Name())
+		if h.sessionUp[p.Name()] {
+			_ = h.mgr.Deregister(p.Name())
+			if h.trackSessions {
+				h.recordTimeline(p.Name(), "", 0, nil, false, false)
+			}
+		}
 		delete(h.managed, p.Name())
+		delete(h.sessionUp, p.Name())
+		delete(h.lastSeen, p.Name())
+		delete(h.muted, p.Name())
 		h.instDirty = true
 		h.retax()
 	}

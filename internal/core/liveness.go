@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Liveness is a session's health as seen by the resource manager. Sessions
+// start Live; an embedding layer (harp.Server on wall time, harpsim on the
+// virtual clock) demotes them as their reports go silent and readmits them
+// when reports resume. The manager itself only reacts to the state: a
+// quarantined session's learning is frozen and its cores are shrunk to zero
+// so survivors can absorb them before the session is reaped.
+type Liveness uint8
+
+// Liveness states, in escalation order.
+const (
+	// LivenessLive: the session reports within its deadline.
+	LivenessLive Liveness = iota
+	// LivenessSuspect: the session missed its report deadline; it keeps its
+	// allocation while the embedder probes it.
+	LivenessSuspect
+	// LivenessQuarantined: the session stayed silent past the quarantine
+	// deadline. Learning is frozen and its cores are reclaimed; the session
+	// is readmitted cleanly if it resumes, reaped if it stays silent.
+	LivenessQuarantined
+)
+
+// String implements fmt.Stringer.
+func (l Liveness) String() string {
+	switch l {
+	case LivenessLive:
+		return "live"
+	case LivenessSuspect:
+		return "suspect"
+	case LivenessQuarantined:
+		return "quarantined"
+	default:
+		return fmt.Sprintf("liveness(%d)", int(l))
+	}
+}
+
+// LivenessPolicy holds the silence deadlines driving the suspect →
+// quarantine → reap escalation. The zero value disables liveness tracking
+// entirely (sessions are only removed on exit or reader EOF — the
+// pre-resilience behaviour).
+type LivenessPolicy struct {
+	// SuspectAfter marks a session suspect when no report, heartbeat or
+	// other message has been seen for this long.
+	SuspectAfter time.Duration
+	// QuarantineAfter freezes learning and reclaims the session's cores
+	// after this much silence. Must be >= SuspectAfter.
+	QuarantineAfter time.Duration
+	// ReapAfter deregisters the session after this much silence. Must be
+	// >= QuarantineAfter.
+	ReapAfter time.Duration
+}
+
+// DefaultLivenessPolicy returns the deadlines used when liveness is enabled
+// without explicit tuning: suspect after 20 missed 50 ms cadences, quarantine
+// at 3 s, reap at 10 s.
+func DefaultLivenessPolicy() LivenessPolicy {
+	return LivenessPolicy{
+		SuspectAfter:    time.Second,
+		QuarantineAfter: 3 * time.Second,
+		ReapAfter:       10 * time.Second,
+	}
+}
+
+// Enabled reports whether the policy tracks liveness at all.
+func (p LivenessPolicy) Enabled() bool {
+	return p.SuspectAfter > 0 || p.QuarantineAfter > 0 || p.ReapAfter > 0
+}
+
+// Validate checks the deadlines are ordered.
+func (p LivenessPolicy) Validate() error {
+	if !p.Enabled() {
+		return nil
+	}
+	if p.SuspectAfter <= 0 || p.QuarantineAfter < p.SuspectAfter || p.ReapAfter < p.QuarantineAfter {
+		return fmt.Errorf("core: liveness deadlines must satisfy 0 < suspect (%v) <= quarantine (%v) <= reap (%v)",
+			p.SuspectAfter, p.QuarantineAfter, p.ReapAfter)
+	}
+	return nil
+}
+
+// ShouldReap reports whether a session silent for age must be deregistered.
+func (p LivenessPolicy) ShouldReap(age time.Duration) bool {
+	return p.Enabled() && age > p.ReapAfter
+}
+
+// StateFor maps a silence age to the liveness state it mandates.
+func (p LivenessPolicy) StateFor(age time.Duration) Liveness {
+	if !p.Enabled() {
+		return LivenessLive
+	}
+	switch {
+	case age > p.QuarantineAfter:
+		return LivenessQuarantined
+	case age > p.SuspectAfter:
+		return LivenessSuspect
+	default:
+		return LivenessLive
+	}
+}

@@ -74,6 +74,11 @@ type SessionInfo struct {
 	// Phase is the application-announced execution stage (§7 outlook
 	// extension; empty if never announced).
 	Phase string
+	// Liveness is the session's health state (live, suspect, quarantined).
+	Liveness Liveness
+	// LastReportAgeSec is the silence age the embedding layer observed when
+	// the summary was taken (-1 when the embedder does not track liveness).
+	LastReportAgeSec float64
 	// Utility and Power are the last smoothed sample fed to Measure.
 	Utility float64
 	Power   float64
@@ -138,6 +143,7 @@ type session struct {
 	stableMeasurements int
 	coAllocated        bool
 	phase              string
+	liveness           Liveness
 
 	// Telemetry state: the last smoothed sample, and the session's gauges
 	// cached at registration so the 50 ms hot path skips the GaugeVec map.
@@ -156,6 +162,9 @@ type Manager struct {
 	order     []string
 	seq       int
 	onDecide  []func(Decision)
+	// ended remembers instances that deregistered, so a re-registration of
+	// the same instance can be counted as a session resumption.
+	ended map[string]struct{}
 
 	// pendingOut accumulates the decisions pushed since the last journal
 	// epoch (only when a journal is configured), so an epoch's Outputs are
@@ -198,6 +207,7 @@ func NewManager(cfg Config) (*Manager, error) {
 		allocator: allocator,
 		sessions:  make(map[string]*session),
 		explorers: make(map[string]*explore.Explorer),
+		ended:     make(map[string]struct{}),
 	}, nil
 }
 
@@ -251,7 +261,12 @@ func (m *Manager) Register(instance, app string, adaptivity workload.Adaptivity,
 		mt.Sessions.Set(float64(len(m.sessions)))
 		s.utilGauge = mt.SessionUtility.With(instance)
 		s.powerGauge = mt.SessionPower.With(instance)
+		if _, resumed := m.ended[instance]; resumed {
+			mt.Reconnects.Inc()
+		}
 	}
+	delete(m.ended, instance)
+	m.updateLiveGauge()
 	return m.reallocate("register")
 }
 
@@ -274,11 +289,28 @@ func (m *Manager) UploadTable(instance string, t *opoint.Table) error {
 
 // Deregister removes a session (application exit) and reallocates.
 func (m *Manager) Deregister(instance string) error {
+	return m.deregister(instance, "deregister", telemetry.EvSessionExited)
+}
+
+// Reap removes a session the liveness reaper declared dead: the same cleanup
+// as Deregister, but journaled and traced as a reap so decision streams
+// distinguish voluntary exits from reclaimed sessions.
+func (m *Manager) Reap(instance string) error {
+	if mt := m.cfg.Metrics; mt != nil {
+		if _, ok := m.sessions[instance]; ok {
+			mt.SessionsReaped.Inc()
+		}
+	}
+	return m.deregister(instance, "reap", telemetry.EvSessionReaped)
+}
+
+func (m *Manager) deregister(instance, trigger string, kind telemetry.EventKind) error {
 	s, err := m.session(instance)
 	if err != nil {
 		return err
 	}
 	delete(m.sessions, instance)
+	m.ended[instance] = struct{}{}
 	for i, id := range m.order {
 		if id == instance {
 			m.order = append(m.order[:i], m.order[i+1:]...)
@@ -286,7 +318,7 @@ func (m *Manager) Deregister(instance string) error {
 		}
 	}
 	m.cfg.Tracer.Emit(telemetry.Event{
-		Kind:     telemetry.EvSessionExited,
+		Kind:     kind,
 		Instance: instance,
 		App:      s.app,
 	})
@@ -295,13 +327,91 @@ func (m *Manager) Deregister(instance string) error {
 		mt.SessionUtility.Delete(instance)
 		mt.SessionPower.Delete(instance)
 	}
+	m.updateLiveGauge()
 	if len(m.sessions) == 0 {
 		if mt := m.cfg.Metrics; mt != nil {
 			mt.CoresGranted.Set(0)
 		}
 		return nil
 	}
-	return m.reallocate("deregister")
+	return m.reallocate(trigger)
+}
+
+// SetLiveness transitions a session's health state (driven by the embedding
+// layer's deadlines). Entering quarantine freezes learning and reallocates so
+// the session's cores shrink to zero; leaving quarantine reallocates to
+// restore them. Suspect transitions are recorded but keep the allocation.
+// The reason labels the trace event (e.g. "silent", "write-failed").
+func (m *Manager) SetLiveness(instance string, l Liveness, reason string) error {
+	s, err := m.session(instance)
+	if err != nil {
+		return err
+	}
+	if s.liveness == l {
+		return nil
+	}
+	old := s.liveness
+	s.liveness = l
+	var kind telemetry.EventKind
+	switch {
+	case l == LivenessQuarantined:
+		kind = telemetry.EvSessionQuarantined
+	case l == LivenessSuspect:
+		kind = telemetry.EvSessionSuspect
+	default:
+		kind = telemetry.EvSessionReadmitted
+	}
+	m.cfg.Tracer.Emit(telemetry.Event{
+		Kind:     kind,
+		Instance: instance,
+		App:      s.app,
+		Stage:    reason,
+	})
+	if mt := m.cfg.Metrics; mt != nil {
+		switch kind {
+		case telemetry.EvSessionQuarantined:
+			mt.SessionsQuarantined.Inc()
+		case telemetry.EvSessionReadmitted:
+			mt.SessionsReadmitted.Inc()
+		}
+	}
+	m.updateLiveGauge()
+	switch {
+	case l == LivenessQuarantined:
+		// Freeze learning: an in-flight exploration measurement would mix
+		// pre- and post-silence behaviour, and the stable cadence restarts
+		// when the session resumes.
+		s.explorer.Abort()
+		s.stableMeasurements = 0
+		return m.reallocate("quarantine")
+	case old == LivenessQuarantined:
+		return m.reallocate("readmit")
+	}
+	return nil
+}
+
+// Liveness returns a session's health state.
+func (m *Manager) Liveness(instance string) (Liveness, error) {
+	s, err := m.session(instance)
+	if err != nil {
+		return 0, err
+	}
+	return s.liveness, nil
+}
+
+// updateLiveGauge recounts the sessions in the live state.
+func (m *Manager) updateLiveGauge() {
+	mt := m.cfg.Metrics
+	if mt == nil {
+		return
+	}
+	live := 0
+	for _, s := range m.sessions {
+		if s.liveness == LivenessLive {
+			live++
+		}
+	}
+	mt.SessionsLive.Set(float64(live))
 }
 
 // Measure feeds one smoothed (utility, power) sample for a session
@@ -326,6 +436,13 @@ func (m *Manager) Measure(instance string, utility, power float64) error {
 		mt.Samples.Inc()
 		s.utilGauge.Set(utility)
 		s.powerGauge.Set(power)
+	}
+	if s.liveness == LivenessQuarantined {
+		// Learning is frozen in quarantine: the session's cores were
+		// reclaimed, so samples describe a zero-resource configuration and
+		// would corrupt the operating-point table. The embedding layer
+		// readmits the session (SetLiveness) when its reports resume.
+		return nil
 	}
 	if s.coAllocated {
 		// Co-allocation distorts measurements; monitoring is suspended
@@ -418,14 +535,24 @@ func (m *Manager) reallocate(trigger string) error {
 		t0 = m.cfg.LatencyClock()
 	}
 
+	// Quarantined sessions are excluded from the solve: their cores shrink
+	// to zero (a parked decision) and the survivors absorb the capacity.
 	inputs := make([]alloc.AppInput, 0, len(m.order))
 	for _, id := range m.order {
 		s := m.sessions[id]
+		if s.liveness == LivenessQuarantined {
+			continue
+		}
 		inputs = append(inputs, alloc.AppInput{ID: id, Table: s.explorer.PredictedTable()})
 	}
-	allocs, stats, err := m.allocator.AllocateWithStats(inputs)
-	if err != nil {
-		return fmt.Errorf("core: allocate: %w", err)
+	var allocs []alloc.Allocation
+	var stats alloc.Stats
+	if len(inputs) > 0 {
+		var err error
+		allocs, stats, err = m.allocator.AllocateWithStats(inputs)
+		if err != nil {
+			return fmt.Errorf("core: allocate: %w", err)
+		}
 	}
 	byID := make(map[string]alloc.Allocation, len(allocs))
 	for _, al := range allocs {
@@ -456,6 +583,9 @@ func (m *Manager) reallocate(trigger string) error {
 	var exploring []*session
 	for _, id := range m.order {
 		s := m.sessions[id]
+		if s.liveness == LivenessQuarantined {
+			continue
+		}
 		s.coAllocated = byID[id].CoAllocated
 		if m.exploring(s) && !s.coAllocated {
 			exploring = append(exploring, s)
@@ -464,6 +594,14 @@ func (m *Manager) reallocate(trigger string) error {
 
 	for _, id := range m.order {
 		s := m.sessions[id]
+		if s.liveness == LivenessQuarantined {
+			s.explorer.Abort()
+			s.pool = nil
+			s.bound = nil
+			s.coAllocated = false
+			m.pushParked(s)
+			continue
+		}
 		al := byID[id]
 		if m.exploring(s) && !s.coAllocated {
 			m.setExplorationPool(s, al, free, len(exploring))
@@ -617,6 +755,16 @@ func (m *Manager) grantsFromPool(s *session, rv platform.ResourceVector) ([]allo
 	return grants, nil
 }
 
+// pushParked pushes the zero allocation a quarantined session holds: no
+// cores, no thread change. Threads stays 0 ("leave unchanged") so a resumed
+// application does not thrash its parallelisation on readmission.
+func (m *Manager) pushParked(s *session) {
+	m.push(s, Decision{
+		Instance: s.instance,
+		Vector:   platform.NewResourceVector(m.cfg.Platform),
+	})
+}
+
 // pushBase pushes an allocator decision unchanged.
 func (m *Manager) pushBase(s *session, al alloc.Allocation) {
 	m.push(s, Decision{
@@ -753,16 +901,18 @@ func (m *Manager) Sessions() []SessionInfo {
 			stage = explore.StageStable
 		}
 		info := SessionInfo{
-			Instance:    s.instance,
-			App:         s.app,
-			Adaptivity:  s.adaptivity,
-			OwnUtility:  s.ownUtility,
-			Stage:       stage,
-			CoAllocated: s.coAllocated,
-			Measured:    s.explorer.Table().MeasuredCount(),
-			Phase:       s.phase,
-			Utility:     s.lastUtility,
-			Power:       s.lastPower,
+			Instance:         s.instance,
+			App:              s.app,
+			Adaptivity:       s.adaptivity,
+			OwnUtility:       s.ownUtility,
+			Stage:            stage,
+			CoAllocated:      s.coAllocated,
+			Measured:         s.explorer.Table().MeasuredCount(),
+			Phase:            s.phase,
+			Liveness:         s.liveness,
+			LastReportAgeSec: -1, // embedders tracking liveness overlay the real age
+			Utility:          s.lastUtility,
+			Power:            s.lastPower,
 		}
 		if s.last != nil {
 			info.Vector = s.last.Vector.Key()

@@ -1,0 +1,109 @@
+package faultsim
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// Conn wraps a net.Conn with injectable connection-level faults: read
+// stalls (slow reader), per-write latency (delayed writes) and silent write
+// drops. The zero state is transparent; faults are armed at runtime by the
+// chaos driver. Safe for concurrent use alongside the usual one-reader /
+// serialized-writers discipline of a protocol connection.
+type Conn struct {
+	net.Conn
+
+	mu         sync.Mutex
+	stallUntil time.Time
+	writeDelay time.Duration
+	dropWrites bool
+}
+
+// WrapConn wraps an established connection.
+func WrapConn(c net.Conn) *Conn { return &Conn{Conn: c} }
+
+// StallReads makes Read block for d before touching the underlying
+// connection — a slow reader whose socket buffer backs up.
+func (c *Conn) StallReads(d time.Duration) {
+	c.mu.Lock()
+	c.stallUntil = time.Now().Add(d)
+	c.mu.Unlock()
+}
+
+// DelayWrites adds d of latency in front of every subsequent Write
+// (0 restores transparency).
+func (c *Conn) DelayWrites(d time.Duration) {
+	c.mu.Lock()
+	c.writeDelay = d
+	c.mu.Unlock()
+}
+
+// DropWrites makes Write swallow data while reporting success — the
+// connection looks healthy to the writer while the peer hears nothing.
+func (c *Conn) DropWrites(drop bool) {
+	c.mu.Lock()
+	c.dropWrites = drop
+	c.mu.Unlock()
+}
+
+// Read applies any pending stall, then reads.
+func (c *Conn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	until := c.stallUntil
+	c.mu.Unlock()
+	if d := time.Until(until); d > 0 {
+		time.Sleep(d)
+	}
+	return c.Conn.Read(p)
+}
+
+// Write applies the configured delay and drop before writing.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	delay := c.writeDelay
+	drop := c.dropWrites
+	c.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if drop {
+		return len(p), nil
+	}
+	return c.Conn.Write(p)
+}
+
+// Listener wraps a net.Listener so every accepted connection is a *Conn,
+// kept in an accept-order registry the chaos driver can reach into.
+type Listener struct {
+	net.Listener
+
+	mu    sync.Mutex
+	conns []*Conn
+}
+
+// WrapListener wraps ln.
+func WrapListener(ln net.Listener) *Listener { return &Listener{Listener: ln} }
+
+// Accept wraps the next connection and records it.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	fc := WrapConn(c)
+	l.mu.Lock()
+	l.conns = append(l.conns, fc)
+	l.mu.Unlock()
+	return fc, nil
+}
+
+// Conns returns the accepted connections in accept order (including closed
+// ones).
+func (l *Listener) Conns() []*Conn {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]*Conn, len(l.conns))
+	copy(out, l.conns)
+	return out
+}

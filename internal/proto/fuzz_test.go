@@ -1,0 +1,130 @@
+package proto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// seedFrames builds the fuzz corpus from the same real protocol messages the
+// unit tests exercise, plus the adversarial shapes Read must reject.
+func seedFrames(f *testing.F) {
+	f.Helper()
+	add := func(typ MsgType, body any) {
+		var buf bytes.Buffer
+		if err := Write(&buf, typ, body); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	add(MsgRegister, Register{PID: 1234, App: "ep.C", Adaptivity: "scalable", OwnUtility: true, ReplyAddr: "/tmp/x.sock"})
+	add(MsgRegisterAck, RegisterAck{SessionID: "ep.C/1234", OK: true})
+	add(MsgRegisterAck, RegisterAck{OK: false, Error: "duplicate session"})
+	add(MsgActivate, Activate{
+		Seq: 7, VectorKey: "1,2|4", Threads: 9,
+		Cores:       []CoreGrant{{Core: 0, Threads: 1}, {Core: 1, Threads: 2}, {Core: 8, Threads: 1}},
+		CoAllocated: true,
+	})
+	add(MsgUtilityReport, UtilityReport{Seq: 3, Utility: 42.5})
+	add(MsgPhaseChange, PhaseChange{Phase: "stage-2"})
+	add(MsgUtilityRequest, nil)
+	add(MsgExit, nil)
+	add(MsgPing, nil)
+	add(MsgPong, nil)
+
+	// Adversarial shapes from the unit tests.
+	f.Add([]byte{})
+	f.Add([]byte{0, 0})
+	var oversized [4]byte
+	binary.BigEndian.PutUint32(oversized[:], MaxFrame+1)
+	f.Add(oversized[:])
+	f.Add([]byte("\x00\x00\x00\x10this is not json"))
+	f.Add([]byte("\x00\x00\x00\x0d{\"body\":null}"))
+	// Two frames back to back.
+	var multi bytes.Buffer
+	_ = Write(&multi, MsgUtilityReport, UtilityReport{Seq: 1, Utility: 1.5})
+	_ = Write(&multi, MsgExit, nil)
+	f.Add(multi.Bytes())
+}
+
+// FuzzRead feeds arbitrary byte streams to the frame reader: it must never
+// panic, every accepted envelope must carry a type, and accepted envelopes
+// must survive a re-encode/re-read round trip.
+func FuzzRead(f *testing.F) {
+	seedFrames(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for i := 0; i < 64; i++ {
+			env, err := Read(r)
+			if err != nil {
+				return // rejection is fine; panics and hangs are the bug
+			}
+			if env.Type == "" {
+				t.Fatal("Read accepted an envelope without a type")
+			}
+			var buf bytes.Buffer
+			var body any
+			if len(env.Body) > 0 {
+				body = env.Body
+			}
+			if err := Write(&buf, env.Type, body); err != nil {
+				t.Fatalf("accepted envelope does not re-encode: %v", err)
+			}
+			again, err := Read(&buf)
+			if err != nil {
+				t.Fatalf("re-encoded envelope does not re-read: %v", err)
+			}
+			if again.Type != env.Type {
+				t.Fatalf("type changed across round trip: %q -> %q", env.Type, again.Type)
+			}
+		}
+	})
+}
+
+// FuzzWrite drives the framer with arbitrary message types and JSON bodies:
+// whenever Write accepts, Read must hand back the same type and an
+// equivalent body.
+func FuzzWrite(f *testing.F) {
+	f.Add(string(MsgRegister), []byte(`{"pid":1,"app":"x","adaptivity":"static"}`))
+	f.Add(string(MsgActivate), []byte(`{"seq":1,"vectorKey":"1|2","cores":[{"core":0,"threads":1}]}`))
+	f.Add(string(MsgUtilityReport), []byte(`{"seq":2,"utility":3.5}`))
+	f.Add(string(MsgExit), []byte(nil))
+	f.Add(string(MsgPong), []byte(`null`))
+	f.Add("custom-extension", []byte(`{"future":"field"}`))
+	f.Fuzz(func(t *testing.T, typ string, body []byte) {
+		var payload any
+		if len(body) > 0 {
+			payload = json.RawMessage(body)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, MsgType(typ), payload); err != nil {
+			return // invalid JSON bodies and oversized frames are rejected
+		}
+		env, err := Read(&buf)
+		if typ == "" {
+			if err == nil {
+				t.Fatal("typeless envelope accepted by Read")
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("written frame does not read back: %v", err)
+		}
+		if env.Type != MsgType(typ) {
+			t.Fatalf("type = %q, want %q", env.Type, typ)
+		}
+		if len(body) > 0 && json.Valid(body) {
+			var want, got any
+			if json.Unmarshal(body, &want) == nil {
+				if err := json.Unmarshal(env.Body, &got); err != nil {
+					t.Fatalf("body does not decode: %v", err)
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("body changed: %v -> %v", want, got)
+				}
+			}
+		}
+	})
+}

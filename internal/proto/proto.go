@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"unicode/utf8"
 
 	"github.com/harp-rm/harp/internal/opoint"
 )
@@ -56,6 +57,13 @@ const (
 	// outlook (§7): the RM discards smoothed state and re-evaluates the
 	// allocation for the new phase.
 	MsgPhaseChange MsgType = "phase-change"
+	// MsgPing: RM → application, a liveness probe for sessions whose
+	// reports went silent. libharp answers with MsgPong automatically.
+	MsgPing MsgType = "ping"
+	// MsgPong: application → RM, the heartbeat answer to MsgPing. Any
+	// inbound message counts as liveness; pong exists for sessions with
+	// nothing else to say.
+	MsgPong MsgType = "pong"
 )
 
 // Envelope frames one message.
@@ -128,8 +136,13 @@ type PhaseChange struct {
 	Phase string `json:"phase"`
 }
 
-// Write frames and writes one message.
+// Write frames and writes one message. The type must be valid UTF-8: JSON
+// encoding silently replaces invalid bytes with U+FFFD, which would change
+// the type in transit (found by FuzzWrite).
 func Write(w io.Writer, typ MsgType, body any) error {
+	if !utf8.ValidString(string(typ)) {
+		return fmt.Errorf("proto: message type %q is not valid UTF-8", typ)
+	}
 	var raw json.RawMessage
 	if body != nil {
 		b, err := json.Marshal(body)

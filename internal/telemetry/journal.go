@@ -44,8 +44,8 @@ type EpochRecord struct {
 	// harpsim, wall seconds since startup in harpd).
 	AtSec float64 `json:"at_sec"`
 	// Trigger labels what caused the epoch: "register", "table-upload",
-	// "deregister", "phase-change", "cadence", "graduation", "exploration"
-	// or "manual".
+	// "deregister", "reap", "quarantine", "readmit", "phase-change",
+	// "cadence", "graduation", "exploration" or "manual".
 	Trigger string `json:"trigger"`
 	// LambdaIters is the allocator's subgradient iteration count (0 when
 	// the epoch pushed only exploration probes).

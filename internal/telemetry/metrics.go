@@ -369,6 +369,22 @@ type Metrics struct {
 	// utility/power EMA, labelled by instance.
 	SessionUtility *GaugeVec
 	SessionPower   *GaugeVec
+
+	// SessionsLive gauges the sessions currently in the live state (not
+	// suspect, quarantined or gone).
+	SessionsLive *Gauge
+	// SessionsReaped counts sessions deregistered by the liveness reaper.
+	SessionsReaped *Counter
+	// SessionsQuarantined counts transitions into quarantine.
+	SessionsQuarantined *Counter
+	// SessionsReadmitted counts suspect/quarantined sessions that resumed.
+	SessionsReadmitted *Counter
+	// WriteTimeouts counts decision/probe writes that missed their
+	// per-connection deadline or otherwise failed.
+	WriteTimeouts *Counter
+	// Reconnects counts session resumptions: registrations that replaced a
+	// previously reaped or exited instance of the same application.
+	Reconnects *Counter
 }
 
 // NewMetrics creates the standard instrument bundle on the registry.
@@ -388,5 +404,12 @@ func NewMetrics(r *Registry) *Metrics {
 		MeasureJitter:    r.Histogram("harp_measure_jitter_seconds", "Absolute deviation of the measure loop from its cadence.", JitterBuckets),
 		SessionUtility:   r.GaugeVec("harp_session_utility", "Smoothed per-session utility EMA.", "instance"),
 		SessionPower:     r.GaugeVec("harp_session_power_watts", "Smoothed per-session power EMA.", "instance"),
+
+		SessionsLive:        r.Gauge("harp_sessions_live", "Sessions currently in the live state."),
+		SessionsReaped:      r.Counter("harp_sessions_reaped_total", "Sessions deregistered by the liveness reaper."),
+		SessionsQuarantined: r.Counter("harp_sessions_quarantined_total", "Transitions of sessions into quarantine."),
+		SessionsReadmitted:  r.Counter("harp_sessions_readmitted_total", "Suspect or quarantined sessions that resumed reporting."),
+		WriteTimeouts:       r.Counter("harp_write_timeouts_total", "Connection writes that missed their deadline or failed."),
+		Reconnects:          r.Counter("harp_session_reconnects_total", "Registrations that resumed a previously ended instance."),
 	}
 }

@@ -54,6 +54,19 @@ const (
 	EvAppSample
 	// EvPhaseChange: an application announced an execution-stage change.
 	EvPhaseChange
+	// EvSessionSuspect: a session missed its liveness deadline and is
+	// suspected dead (Stage carries the reason, e.g. "silent" or
+	// "write-failed").
+	EvSessionSuspect
+	// EvSessionQuarantined: a suspect session stayed silent past the
+	// quarantine deadline — learning frozen, cores reclaimed.
+	EvSessionQuarantined
+	// EvSessionReadmitted: a suspect or quarantined session resumed
+	// reporting and was restored to normal management.
+	EvSessionReadmitted
+	// EvSessionReaped: the liveness reaper deregistered a dead session
+	// (as opposed to a voluntary exit, which is EvSessionExited).
+	EvSessionReaped
 )
 
 // String implements fmt.Stringer.
@@ -79,6 +92,14 @@ func (k EventKind) String() string {
 		return "app-sample"
 	case EvPhaseChange:
 		return "phase-change"
+	case EvSessionSuspect:
+		return "session-suspect"
+	case EvSessionQuarantined:
+		return "session-quarantined"
+	case EvSessionReadmitted:
+		return "session-readmitted"
+	case EvSessionReaped:
+		return "session-reaped"
 	default:
 		return "event(?)"
 	}
