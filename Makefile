@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race bench bench-parallel trace-demo fuzz-smoke
+.PHONY: build test check race bench bench-parallel trace-demo fuzz-smoke invariants invariants-long
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,21 @@ check:
 
 race:
 	$(GO) test -race ./...
+
+# invariants runs the correctness harness (see CORRECTNESS.md): the exact
+# MMKP oracle differential tests against the Lagrangian and greedy solvers,
+# and the full-run invariant suites over simulated chaos runs and random
+# Manager operation sequences. Failures print a shrunk counterexample and a
+# one-line repro; set HARP_CHECK_ARTIFACTS to also write it to a file.
+invariants:
+	$(GO) test -race -count=1 \
+		-run 'TestDifferential|TestBugCrop|TestOracle|TestShrink|TestCheckTimeline|TestSimInvariants|TestSimJournalMatchesPushedInvariant|TestSimTimelineIsolation|TestManagerInvariants|TestRegisterRollback|TestManagerSameSeed' \
+		./internal/check/ ./internal/alloc/ ./internal/core/ ./harpsim/
+
+# invariants-long is the nightly sweep: the same harness over an order of
+# magnitude more seeded scenarios (20000 differential seeds per solver).
+invariants-long:
+	HARP_CHECK_LONG=1 $(MAKE) invariants
 
 # fuzz-smoke briefly runs each wire-protocol fuzzer — enough to catch framing
 # regressions on every push without a dedicated fuzzing farm.

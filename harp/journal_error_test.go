@@ -1,0 +1,90 @@
+package harp
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/harp-rm/harp/internal/alloc"
+	"github.com/harp-rm/harp/internal/platform"
+	"github.com/harp-rm/harp/internal/telemetry"
+)
+
+// failingAllocator errors on every solve.
+type failingAllocator struct{}
+
+func (failingAllocator) AllocateWithStats([]alloc.AppInput) ([]alloc.Allocation, alloc.Stats, error) {
+	return nil, alloc.Stats{}, errors.New("solver exploded")
+}
+
+// A solver failure must reach the client as a rejected registration and the
+// journal as an error epoch with no outputs — never a pushed decision built
+// from a failed solve. The server is closed before the journal buffer is
+// read, so the read needs no synchronisation with the measure loop.
+func TestAllocatorErrorSurfacesInJournal(t *testing.T) {
+	var jbuf bytes.Buffer
+	srv, err := NewServer(ServerConfig{
+		Platform:  platform.RaptorLake(),
+		Sampler:   fixedSampler{utility: 100, power: 50},
+		Journal:   telemetry.NewJournal(&jbuf),
+		Allocator: failingAllocator{},
+	})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	sock := filepath.Join(t.TempDir(), "harp.sock")
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(sock) }()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		conn, err := net.Dial("unix", sock)
+		if err == nil {
+			conn.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server did not come up")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	client, err := Dial(sock, Registration{App: "ep.C", PID: 7, Adaptivity: Scalable})
+	if err == nil {
+		client.Close()
+		t.Fatal("registration succeeded although every solve fails")
+	}
+	if !strings.Contains(err.Error(), "solver exploded") {
+		t.Errorf("registration error %q does not carry the solver failure", err)
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+
+	records, err := telemetry.ReadJournal(bytes.NewReader(jbuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, rec := range records {
+		if len(rec.Outputs) != 0 {
+			t.Errorf("epoch %d pushed %d decisions although every solve fails", rec.Epoch, len(rec.Outputs))
+		}
+		if rec.Trigger == "register" && rec.Error != "" {
+			found = true
+			if !strings.Contains(rec.Error, "solver exploded") {
+				t.Errorf("error epoch records %q, want the solver failure", rec.Error)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no register error epoch in the journal (%d records)", len(records))
+	}
+}

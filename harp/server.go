@@ -77,6 +77,10 @@ type ServerConfig struct {
 	// WriteTimeout bounds each framed write to a session connection
 	// (0 = DefaultWriteTimeout, negative = no deadline).
 	WriteTimeout time.Duration
+	// Allocator overrides the manager's MMKP solver (nil builds the default
+	// Lagrangian allocator). Correctness tests inject failing solvers to
+	// verify errors surface in the journal instead of becoming decisions.
+	Allocator core.Allocator
 }
 
 // LoadPlatform resolves a platform: a built-in name ("intel", "odroid", …)
@@ -174,6 +178,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	start := time.Now()
 	mgr, err := core.NewManager(core.Config{
 		Platform:           cfg.Platform,
+		Allocator:          cfg.Allocator,
 		Explore:            cfg.Explore,
 		OfflineTables:      offline,
 		DisableExploration: cfg.DisableExploration,

@@ -140,6 +140,11 @@ type appState struct {
 	id     string
 	cands  []candidate
 	chosen int // index into cands, -1 = none
+	// coalloc records that repair found no candidate fitting the remaining
+	// capacity and deferred the application to co-allocation; assignCores
+	// wraps exactly these states around the capacity. A wrap attempt by any
+	// other state is an internal accounting bug surfaced as *CapacityError.
+	coalloc bool
 }
 
 // Stats summarises one solver run for the telemetry layer.
@@ -199,6 +204,12 @@ func (a *Allocator) AllocateWithStats(apps []AppInput) ([]Allocation, Stats, err
 		}
 	}
 	a.repair(states, capacity)
+	if a.method == Lagrangian {
+		// rescue is part of the production pipeline only: the greedy
+		// ablation exists to show what order-sensitive repair costs, and
+		// rescuing it would erase exactly that difference.
+		a.rescue(states, capacity)
+	}
 	a.improve(states, capacity)
 	out, err := a.assignCores(states)
 	if err != nil {
@@ -224,6 +235,16 @@ func (a *Allocator) AllocateWithStats(apps []AppInput) ([]Allocation, Stats, err
 }
 
 // buildState Pareto-filters the table and precomputes costs.
+//
+// Unusable points — zero vectors and points whose cost guard yields a
+// non-finite cost (e.g. a zero-power measurement) — are dropped BEFORE Pareto
+// filtering. The Pareto objectives score low power and low demand as better,
+// so a degenerate zero-power or zero-vector point dominates every honest
+// point and, filtered afterwards, would evict the whole usable front and
+// silently collapse the application onto the free fallback candidate (found
+// by the differential oracle; see CORRECTNESS.md). Among usable points
+// domination is cost-monotone — higher utility and lower power both lower
+// cost = power/vhat² — so pre-filtering keeps the front lossless.
 func (a *Allocator) buildState(app AppInput) (*appState, error) {
 	if err := app.Table.Validate(a.plat); err != nil {
 		return nil, err
@@ -232,9 +253,8 @@ func (a *Allocator) buildState(app AppInput) (*appState, error) {
 	if vstar <= 0 {
 		vstar = app.Table.MaxUtility()
 	}
-	points := app.Table.ParetoPoints()
-	st := &appState{id: app.ID, chosen: -1}
-	for _, op := range points {
+	usable := make([]opoint.OperatingPoint, 0, len(app.Table.Points))
+	for _, op := range app.Table.Points {
 		if op.Vector.IsZero() {
 			continue
 		}
@@ -242,7 +262,17 @@ func (a *Allocator) buildState(app AppInput) (*appState, error) {
 		if math.IsInf(cost, 1) || math.IsNaN(cost) {
 			continue
 		}
-		st.cands = append(st.cands, candidate{op: op, cost: cost, demand: op.Vector.CoreDemand()})
+		usable = append(usable, op)
+	}
+	var points []opoint.OperatingPoint
+	if len(usable) == len(app.Table.Points) {
+		points = app.Table.ParetoPoints() // memoised fast path, same front
+	} else {
+		points = opoint.Pareto(usable, opoint.RuntimeObjectives)
+	}
+	st := &appState{id: app.ID, chosen: -1}
+	for _, op := range points {
+		st.cands = append(st.cands, candidate{op: op, cost: op.Cost(vstar), demand: op.Vector.CoreDemand()})
 	}
 	if len(st.cands) == 0 {
 		// No usable characteristics yet (fresh application): fall back to a
@@ -361,15 +391,21 @@ func (a *Allocator) lagrangianSelect(states []*appState, capacity []int) {
 // demandKey packs a per-kind core-demand vector into a dedup key; ok is
 // false when the vector does not fit (the caller then keeps the candidate
 // without deduplication, which is always correct).
+//
+// Each element is stored biased by one so that a leading zero demand still
+// occupies its 16-bit slot: without the bias, [1 2] and [0 1 2] packed to
+// the same key, and any caller deduplicating across vectors of different
+// lengths would silently reuse the wrong λ-dot-product representative. The
+// bias costs one value of headroom, hence the 1<<16−1 bound.
 func demandKey(demand []int) (key uint64, ok bool) {
 	if len(demand) > 4 {
 		return 0, false
 	}
 	for _, d := range demand {
-		if d < 0 || d >= 1<<16 {
+		if d < 0 || d >= 1<<16-1 {
 			return 0, false
 		}
-		key = key<<16 | uint64(d)
+		key = key<<16 | uint64(d+1)
 	}
 	return key, true
 }
@@ -410,14 +446,145 @@ func (a *Allocator) repair(states []*appState, capacity []int) {
 			st.chosen = found
 			take(st.cands[found].demand)
 		} else {
-			// Co-allocation fallback: smallest-demand candidate.
+			// Co-allocation fallback: smallest-demand candidate. Its demand
+			// is deliberately not taken from the accounting — the overflow is
+			// resolved by assignCores wrapping this state's grants around the
+			// capacity, not by starving later applications.
 			st.chosen = smallestDemand(st.cands)
+			st.coalloc = true
 		}
 	}
 }
 
-// improve performs one sweep trying to move each application to a
-// lower-cost point using leftover capacity.
+// rescueMaxSwitches bounds how many other applications a rescue may switch
+// at once; rescueBudget caps the search nodes per deferred application so
+// rescue stays cheap on production-sized tables.
+const (
+	rescueMaxSwitches = 2
+	rescueBudget      = 200_000
+)
+
+// rescue tries to lift co-allocated applications back into spatial isolation.
+// repair walks applications in order without backtracking, so early
+// applications holding large points can push a later one into co-allocation
+// even when rearranging their choices would make everything fit — a
+// systematic gap the differential oracle exposed (see CORRECTNESS.md). For
+// each deferred application, rescue searches its candidates combined with up
+// to rescueMaxSwitches switches in other isolated applications, applies the
+// cheapest combination under which every kind stays within capacity, and
+// repeats until no deferred application can be lifted. The loop terminates:
+// each round clears at least one coalloc flag and rescue never sets one.
+func (a *Allocator) rescue(states []*appState, capacity []int) {
+	nk := len(capacity)
+	remaining := make([]int, nk)
+	recompute := func() {
+		copy(remaining, capacity)
+		for _, st := range states {
+			if st.coalloc || st.chosen < 0 {
+				continue
+			}
+			for k, d := range st.cands[st.chosen].demand {
+				remaining[k] -= d
+			}
+		}
+	}
+	type switchTo struct {
+		app  *appState
+		cand int
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, st := range states {
+			if !st.coalloc {
+				continue
+			}
+			recompute()
+			var others []*appState
+			for _, o := range states {
+				if o != st && !o.coalloc && o.chosen >= 0 {
+					others = append(others, o)
+				}
+			}
+			bestCost := math.Inf(1)
+			bestCand := -1
+			var bestSw, curSw []switchTo
+			budget := rescueBudget
+			// need[k] > 0 means kind k still lacks cores for the candidate
+			// under the switches applied so far; need ≤ 0 everywhere is
+			// exactly "all isolated choices plus the candidate fit".
+			need := make([]int, nk)
+			var dfs func(oi, switches, ci int, delta float64)
+			dfs = func(oi, switches, ci int, delta float64) {
+				if budget--; budget < 0 {
+					return
+				}
+				fits := true
+				for _, n := range need {
+					if n > 0 {
+						fits = false
+						break
+					}
+				}
+				if fits {
+					if total := st.cands[ci].cost + delta; total < bestCost {
+						bestCost, bestCand = total, ci
+						bestSw = append(bestSw[:0], curSw...)
+					}
+					return
+				}
+				if oi >= len(others) || switches >= rescueMaxSwitches {
+					return
+				}
+				dfs(oi+1, switches, ci, delta) // leave others[oi] as is
+				o := others[oi]
+				cur := o.cands[o.chosen]
+				for alt, oc := range o.cands {
+					if alt == o.chosen {
+						continue
+					}
+					for k := 0; k < nk; k++ {
+						need[k] += oc.demand[k] - cur.demand[k]
+					}
+					curSw = append(curSw, switchTo{o, alt})
+					dfs(oi+1, switches+1, ci, delta+oc.cost-cur.cost)
+					curSw = curSw[:len(curSw)-1]
+					for k := 0; k < nk; k++ {
+						need[k] -= oc.demand[k] - cur.demand[k]
+					}
+				}
+			}
+			for ci, c := range st.cands {
+				for k := 0; k < nk; k++ {
+					need[k] = c.demand[k] - remaining[k]
+				}
+				dfs(0, 0, ci, 0)
+			}
+			if bestCand >= 0 {
+				st.chosen = bestCand
+				st.coalloc = false
+				for _, s := range bestSw {
+					s.app.chosen = s.cand
+				}
+				changed = true
+			}
+		}
+	}
+}
+
+// improve runs a local search over the feasible selection until a fixpoint:
+// first single moves (one application to a cheaper point within leftover
+// capacity), then pairwise exchanges (one application moves cheaper while a
+// second simultaneously switches — possibly to a dearer point — so the pair
+// fits and the summed cost still drops). The pairwise neighbourhood matters:
+// the subgradient iteration can terminate with app A squatting on the cores
+// whose release would let app B take a far cheaper point, a local optimum no
+// single move escapes (found by the differential oracle; see CORRECTNESS.md).
+//
+// Every accepted move strictly decreases the summed cost while the per-kind
+// capacity deltas keep remaining non-negative, so spatial isolation is
+// preserved move by move — in particular a kind with zero remaining capacity
+// only ever admits combinations that shrink or hold its demand — and the
+// strictly decreasing cost over a finite assignment space bounds the loop.
 func (a *Allocator) improve(states []*appState, capacity []int) {
 	remaining := make([]int, len(capacity))
 	copy(remaining, capacity)
@@ -434,41 +601,124 @@ func (a *Allocator) improve(states []*appState, capacity []int) {
 			return // co-allocated system; nothing to improve safely
 		}
 	}
-	for _, st := range states {
+	apply := func(st *appState, i int) {
 		cur := st.cands[st.chosen]
-		for i, c := range st.cands {
-			if i == st.chosen || c.cost >= cur.cost {
-				continue
-			}
-			ok := true
-			for k, d := range c.demand {
-				if d-cur.demand[k] > remaining[k] {
-					ok = false
+		for k, d := range st.cands[i].demand {
+			remaining[k] -= d - cur.demand[k]
+		}
+		st.chosen = i
+	}
+	singleMove := func() bool {
+		moved := false
+		for _, st := range states {
+			cur := st.cands[st.chosen]
+			for i, c := range st.cands {
+				if i == st.chosen || c.cost >= cur.cost {
+					continue
+				}
+				ok := true
+				for k, d := range c.demand {
+					if d-cur.demand[k] > remaining[k] {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					apply(st, i)
+					moved = true
 					break
 				}
 			}
-			if ok {
-				for k, d := range c.demand {
-					remaining[k] -= d - cur.demand[k]
+		}
+		return moved
+	}
+	pairMove := func() bool {
+		for ai, sa := range states {
+			ca := sa.cands[sa.chosen]
+			for i, na := range sa.cands {
+				if i == sa.chosen || na.cost >= ca.cost {
+					continue
 				}
-				st.chosen = i
-				break
+				for bi, sb := range states {
+					if bi == ai {
+						continue
+					}
+					cb := sb.cands[sb.chosen]
+					for j, nb := range sb.cands {
+						if j == sb.chosen {
+							continue
+						}
+						if (na.cost-ca.cost)+(nb.cost-cb.cost) >= 0 {
+							continue
+						}
+						ok := true
+						for k := range remaining {
+							delta := na.demand[k] - ca.demand[k] + nb.demand[k] - cb.demand[k]
+							if delta > remaining[k] {
+								ok = false
+								break
+							}
+						}
+						if ok {
+							apply(sa, i)
+							apply(sb, j)
+							return true
+						}
+					}
+				}
 			}
+		}
+		return false
+	}
+	for {
+		if singleMove() {
+			continue
+		}
+		if !pairMove() {
+			return
 		}
 	}
 }
 
-// assignCores maps the selected operating points to concrete, spatially
-// isolated cores; overflow demand is co-allocated round-robin.
+// CapacityError reports that assigning spatially isolated cores ran past a
+// kind's capacity even though repair accounted every isolated choice as
+// fitting. That is an internal solver invariant violation — the accounting
+// and the assignment disagree — and it must surface as an error, never as a
+// silently shared core dressed up as an isolated grant.
+type CapacityError struct {
+	// App is the application whose grant overflowed.
+	App string
+	// Kind indexes the overflowed core kind on the platform.
+	Kind int
+	// Granted is how many isolated cores of the kind were already handed out
+	// when the overflow happened; Capacity is how many exist.
+	Granted, Capacity int
+}
+
+func (e *CapacityError) Error() string {
+	return fmt.Sprintf("alloc: internal: isolated assignment for %q overflows kind %d (%d granted, %d exist)",
+		e.App, e.Kind, e.Granted, e.Capacity)
+}
+
+// assignCores maps the selected operating points to concrete cores in two
+// passes. Pass one places the spatially isolated applications with a per-kind
+// cursor; repair accounted those choices as fitting the capacity, so running
+// out of cores here returns *CapacityError instead of quietly double-granting
+// a core. Pass two places the applications repair explicitly deferred to
+// co-allocation, wrapping round-robin from where the isolated cursor stopped
+// so genuinely free cores are shared first.
 func (a *Allocator) assignCores(states []*appState) ([]Allocation, error) {
 	nextFree := make([]int, len(a.plat.Kinds))
-	out := make([]Allocation, 0, len(states))
-	for _, st := range states {
+	out := make([]Allocation, len(states))
+	for si, st := range states {
 		if st.chosen < 0 || st.chosen >= len(st.cands) {
 			return nil, errors.New("alloc: internal: no chosen candidate")
 		}
 		cand := st.cands[st.chosen]
-		alloc := Allocation{ID: st.id, Point: cand.op}
+		out[si] = Allocation{ID: st.id, Point: cand.op}
+		if st.coalloc {
+			continue
+		}
 		for kindIdx, counts := range cand.op.Vector.Counts {
 			lo, hi := a.plat.CoreRange(platform.KindID(kindIdx))
 			total := hi - lo
@@ -476,11 +726,9 @@ func (a *Allocator) assignCores(states []*appState) ([]Allocation, error) {
 				for c := 0; c < cores; c++ {
 					slot := nextFree[kindIdx]
 					if slot >= total {
-						// Out of isolated cores: wrap around (co-allocation).
-						slot %= total
-						alloc.CoAllocated = true
+						return nil, &CapacityError{App: st.id, Kind: kindIdx, Granted: slot, Capacity: total}
 					}
-					alloc.Grants = append(alloc.Grants, CoreGrant{
+					out[si].Grants = append(out[si].Grants, CoreGrant{
 						Core:    lo + slot,
 						Threads: tIdx + 1,
 					})
@@ -488,7 +736,27 @@ func (a *Allocator) assignCores(states []*appState) ([]Allocation, error) {
 				}
 			}
 		}
-		out = append(out, alloc)
+	}
+	for si, st := range states {
+		if !st.coalloc {
+			continue
+		}
+		out[si].CoAllocated = true
+		cand := st.cands[st.chosen]
+		for kindIdx, counts := range cand.op.Vector.Counts {
+			lo, hi := a.plat.CoreRange(platform.KindID(kindIdx))
+			total := hi - lo
+			for tIdx, cores := range counts {
+				for c := 0; c < cores; c++ {
+					slot := nextFree[kindIdx] % total
+					out[si].Grants = append(out[si].Grants, CoreGrant{
+						Core:    lo + slot,
+						Threads: tIdx + 1,
+					})
+					nextFree[kindIdx]++
+				}
+			}
+		}
 	}
 	return out, nil
 }

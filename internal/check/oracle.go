@@ -1,0 +1,134 @@
+package check
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// MaxOracleNodes bounds the branch-and-bound search. The oracle is correct by
+// construction but exponential; instances past this bound return ErrTooLarge
+// instead of silently taking forever.
+const MaxOracleNodes = 5_000_000
+
+// ErrTooLarge is returned by Solve for instances beyond the oracle's search
+// budget.
+var ErrTooLarge = fmt.Errorf("check: instance exceeds the oracle's %d-node budget", MaxOracleNodes)
+
+// Solution is the oracle's answer for an Instance.
+type Solution struct {
+	// Feasible reports whether any assignment fits the capacity.
+	Feasible bool
+	// Cost is the minimum total cost over feasible assignments (undefined
+	// when infeasible).
+	Cost float64
+	// Chosen[i] indexes Apps[i].Cands in the optimal assignment (nil when
+	// infeasible).
+	Chosen []int
+}
+
+// Solve computes the exact MMKP optimum by depth-first branch and bound:
+// applications are ordered by ascending candidate count (smallest branching
+// factor first), partial assignments are pruned against a lower bound of
+// per-application minimum costs, and capacity is maintained incrementally.
+// The implementation favours obvious correctness over speed — it exists to
+// judge the fast solvers, not to replace them.
+func (inst Instance) Solve() (Solution, error) {
+	n := len(inst.Apps)
+	if n == 0 {
+		return Solution{Feasible: true, Chosen: []int{}}, nil
+	}
+	for _, app := range inst.Apps {
+		if len(app.Cands) == 0 {
+			// An application with no candidate can never satisfy the
+			// choose-exactly-one constraint.
+			return Solution{}, nil
+		}
+	}
+
+	// Search app order: fewest candidates first tightens the tree early.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return len(inst.Apps[order[a]].Cands) < len(inst.Apps[order[b]].Cands)
+	})
+
+	// minTail[d] is the sum over apps order[d:] of each app's cheapest
+	// candidate — an admissible lower bound on the remaining cost.
+	minTail := make([]float64, n+1)
+	for d := n - 1; d >= 0; d-- {
+		minCost := math.Inf(1)
+		for _, c := range inst.Apps[order[d]].Cands {
+			if c.Cost < minCost {
+				minCost = c.Cost
+			}
+		}
+		minTail[d] = minTail[d+1] + minCost
+	}
+
+	remaining := append([]int(nil), inst.Capacity...)
+	chosen := make([]int, n)
+	best := Solution{Cost: math.Inf(1)}
+	nodes := 0
+
+	var dfs func(d int, cost float64) error
+	dfs = func(d int, cost float64) error {
+		if nodes++; nodes > MaxOracleNodes {
+			return ErrTooLarge
+		}
+		if cost+minTail[d] >= best.Cost {
+			return nil // cannot beat the incumbent
+		}
+		if d == n {
+			best.Feasible = true
+			best.Cost = cost
+			best.Chosen = append(best.Chosen[:0], chosen...)
+			return nil
+		}
+		app := inst.Apps[order[d]]
+		for ci, c := range app.Cands {
+			fits := true
+			for k, dem := range c.Demand {
+				if k >= len(remaining) || dem > remaining[k] {
+					fits = false
+					break
+				}
+			}
+			if !fits {
+				continue
+			}
+			for k, dem := range c.Demand {
+				remaining[k] -= dem
+			}
+			chosen[order[d]] = ci
+			err := dfs(d+1, cost+c.Cost)
+			for k, dem := range c.Demand {
+				remaining[k] += dem
+			}
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := dfs(0, 0); err != nil {
+		return Solution{}, err
+	}
+	if !best.Feasible {
+		return Solution{}, nil
+	}
+	return best, nil
+}
+
+// CostOf sums the cost of an explicit assignment (one candidate index per
+// app), without feasibility checking — used to price heuristic solutions in
+// oracle units.
+func (inst Instance) CostOf(chosen []int) float64 {
+	var sum float64
+	for i, ci := range chosen {
+		sum += inst.Apps[i].Cands[ci].Cost
+	}
+	return sum
+}

@@ -1,0 +1,99 @@
+package check
+
+import (
+	"os"
+	"path/filepath"
+
+	"github.com/harp-rm/harp/internal/alloc"
+	"github.com/harp-rm/harp/internal/platform"
+)
+
+// FailFunc reproduces the failure under investigation: it returns a non-nil
+// error when the instance still exhibits it. Shrinking keeps only reductions
+// that preserve the failure, so the predicate must be deterministic.
+type FailFunc func(p *platform.Platform, inputs []alloc.AppInput) error
+
+// Shrink greedily minimises a failing instance: it repeatedly tries to drop
+// whole applications, then individual operating points, keeping every
+// reduction under which fail still returns an error, until a fixpoint. The
+// returned instance is the smallest found, together with the failure it
+// still produces. Inputs are never mutated; shrunk tables are copies.
+//
+// Greedy one-at-a-time deletion is not globally minimal, but in practice it
+// collapses 4-app × 8-point counterexamples to the 2-app × 2-point core of
+// the bug, which is what a human needs to see.
+func Shrink(p *platform.Platform, inputs []alloc.AppInput, fail FailFunc) ([]alloc.AppInput, error) {
+	cur := cloneInputs(inputs)
+	err := fail(p, cur)
+	if err == nil {
+		return cur, nil
+	}
+	for shrunk := true; shrunk; {
+		shrunk = false
+		// Drop whole applications.
+		for i := 0; i < len(cur); i++ {
+			if len(cur) == 1 {
+				break
+			}
+			cand := append(append([]alloc.AppInput{}, cur[:i]...), cur[i+1:]...)
+			if e := fail(p, cand); e != nil {
+				cur, err = cand, e
+				shrunk = true
+				i--
+			}
+		}
+		// Drop individual operating points.
+		for i := 0; i < len(cur); i++ {
+			tbl := cur[i].Table
+			if tbl == nil {
+				continue
+			}
+			for j := 0; j < len(tbl.Points); j++ {
+				if len(tbl.Points) == 1 {
+					break
+				}
+				cand := cloneInputs(cur)
+				ct := cand[i].Table
+				ct.Points = append(ct.Points[:j], ct.Points[j+1:]...)
+				ct.Invalidate()
+				if e := fail(p, cand); e != nil {
+					cur, err = cand, e
+					shrunk = true
+					j--
+					tbl = cur[i].Table
+				}
+			}
+		}
+	}
+	return cur, err
+}
+
+func cloneInputs(inputs []alloc.AppInput) []alloc.AppInput {
+	out := make([]alloc.AppInput, len(inputs))
+	for i, in := range inputs {
+		out[i] = in
+		if in.Table != nil {
+			out[i].Table = in.Table.Clone()
+		}
+	}
+	return out
+}
+
+// WriteArtifact saves a counterexample dump under $HARP_CHECK_ARTIFACTS for
+// CI to upload, returning the written path ("" when the variable is unset or
+// the write fails — artifact capture must never mask the test failure
+// itself).
+func WriteArtifact(name string, data []byte) string {
+	dir := os.Getenv("HARP_CHECK_ARTIFACTS")
+	if dir == "" {
+		return ""
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return ""
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return ""
+	}
+	return path
+}

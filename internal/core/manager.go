@@ -91,12 +91,20 @@ type SessionInfo struct {
 	Exploring bool
 }
 
+// Allocator solves the MMKP for the manager. *alloc.Allocator is the
+// production implementation; the indirection exists so correctness tests can
+// inject failing or instrumented solvers and verify that allocation errors
+// surface in the decision journal instead of turning into bad decisions.
+type Allocator interface {
+	AllocateWithStats(apps []alloc.AppInput) ([]alloc.Allocation, alloc.Stats, error)
+}
+
 // Config configures a Manager.
 type Config struct {
 	// Platform is the hardware description (required).
 	Platform *platform.Platform
 	// Allocator solves the MMKP; nil builds a default Lagrangian allocator.
-	Allocator *alloc.Allocator
+	Allocator Allocator
 	// Explore tunes runtime exploration.
 	Explore explore.Config
 	// OfflineTables maps application names to pre-generated operating-point
@@ -156,7 +164,7 @@ type session struct {
 // Manager is the HARP resource manager.
 type Manager struct {
 	cfg       Config
-	allocator *alloc.Allocator
+	allocator Allocator
 	sessions  map[string]*session
 	explorers map[string]*explore.Explorer // per application name; persists across sessions
 	order     []string
@@ -267,7 +275,25 @@ func (m *Manager) Register(instance, app string, adaptivity workload.Adaptivity,
 	}
 	delete(m.ended, instance)
 	m.updateLiveGauge()
-	return m.reallocate("register")
+	if err := m.reallocate("register"); err != nil {
+		// Roll the half-registered session back out: the caller reports the
+		// failure to the client, and a ghost session would keep joining
+		// future solves with nobody listening for its decisions. The journal
+		// has already recorded the error epoch.
+		delete(m.sessions, instance)
+		for i, id := range m.order {
+			if id == instance {
+				m.order = append(m.order[:i], m.order[i+1:]...)
+				break
+			}
+		}
+		if mt := m.cfg.Metrics; mt != nil {
+			mt.Sessions.Set(float64(len(m.sessions)))
+		}
+		m.updateLiveGauge()
+		return err
+	}
+	return nil
 }
 
 // UploadTable merges operating points supplied by the application itself
@@ -551,6 +577,11 @@ func (m *Manager) reallocate(trigger string) error {
 		var err error
 		allocs, stats, err = m.allocator.AllocateWithStats(inputs)
 		if err != nil {
+			// A failed solve pushes nothing — every session keeps its standing
+			// decision — but the failure itself is journalled as an error
+			// epoch so operators see the gap in the decision stream instead
+			// of a silently missing epoch.
+			m.recordEpochError(trigger, err)
 			return fmt.Errorf("core: allocate: %w", err)
 		}
 	}
@@ -650,6 +681,17 @@ func (m *Manager) grantedCores() int {
 // recordEpoch writes one decision-journal record covering the decisions
 // accumulated in pendingOut since the previous epoch.
 func (m *Manager) recordEpoch(trigger string, lambdaIters int) {
+	m.recordEpochWith(trigger, lambdaIters, "")
+}
+
+// recordEpochError journals a failed reallocation: an epoch with no outputs
+// and the allocator's error, so the journal explains why no decisions were
+// pushed for the trigger.
+func (m *Manager) recordEpochError(trigger string, allocErr error) {
+	m.recordEpochWith(trigger, 0, allocErr.Error())
+}
+
+func (m *Manager) recordEpochWith(trigger string, lambdaIters int, errMsg string) {
 	if !m.cfg.Journal.Enabled() {
 		return
 	}
@@ -657,6 +699,7 @@ func (m *Manager) recordEpoch(trigger string, lambdaIters int) {
 		AtSec:       m.cfg.Tracer.Now().Seconds(),
 		Trigger:     trigger,
 		LambdaIters: lambdaIters,
+		Error:       errMsg,
 		Inputs:      make([]telemetry.EpochInput, 0, len(m.order)),
 		Outputs:     m.pendingOut,
 	}

@@ -54,6 +54,10 @@ type EpochRecord struct {
 	// allocation — the sum of the per-app slices in Outputs plus unchanged
 	// allocations.
 	PowerBudgetW float64 `json:"power_budget_w"`
+	// Error records a failed reallocation: the allocator's error message for
+	// an epoch that pushed no decisions because the solve itself failed.
+	// Empty for successful epochs.
+	Error string `json:"error,omitempty"`
 	// Inputs snapshot every session's smoothed state.
 	Inputs []EpochInput `json:"inputs"`
 	// Outputs list the decisions pushed during this epoch (empty when the
