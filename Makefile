@@ -34,11 +34,14 @@ invariants:
 invariants-long:
 	HARP_CHECK_LONG=1 $(MAKE) invariants
 
-# fuzz-smoke briefly runs each wire-protocol fuzzer — enough to catch framing
-# regressions on every push without a dedicated fuzzing farm.
+# fuzz-smoke briefly runs each wire-protocol and durable-state fuzzer —
+# enough to catch framing regressions on every push without a dedicated
+# fuzzing farm.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzRead$$' -fuzztime 10s ./internal/proto/
 	$(GO) test -run '^$$' -fuzz '^FuzzWrite$$' -fuzztime 10s ./internal/proto/
+	$(GO) test -run '^$$' -fuzz '^FuzzSnapshot$$' -fuzztime 10s ./internal/store/
+	$(GO) test -run '^$$' -fuzz '^FuzzWAL$$' -fuzztime 10s ./internal/store/
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

@@ -23,6 +23,7 @@ import (
 
 	"github.com/harp-rm/harp/harpsim"
 	"github.com/harp-rm/harp/internal/experiments"
+	"github.com/harp-rm/harp/internal/faultsim"
 	"github.com/harp-rm/harp/internal/platform"
 	"github.com/harp-rm/harp/internal/telemetry"
 	"github.com/harp-rm/harp/internal/workload"
@@ -73,6 +74,8 @@ func runScenario(args []string, out io.Writer) error {
 		timeline  = fs.Bool("timeline", false, "print every applied allocation decision (HARP policies)")
 		traceFile = fs.String("trace", "", "write a Chrome trace_event JSON of the run (open in Perfetto)")
 		journFile = fs.String("journal", "", "write the per-epoch decision journal (JSONL) to this file")
+		stateDir  = fs.String("state-dir", "", "durable RM state directory: resume learned tables across runs (HARP policies)")
+		rmCrashAt = fs.Duration("rm-crash-at", 0, "kill and restart the RM at this virtual time (warm from -state-dir, else cold)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -101,9 +104,17 @@ func runScenario(args []string, out io.Writer) error {
 		return err
 	}
 	sc := harpsim.Scenario{Name: *appsFlag, Platform: plat, Apps: apps}
-	opts := harpsim.Options{Policy: policy, Seed: *seed, RecordTimeline: *timeline}
+	opts := harpsim.Options{Policy: policy, Seed: *seed, RecordTimeline: *timeline, StateDir: *stateDir}
 	if policy.IsHARP() {
 		opts.OfflineTables = harpsim.OfflineDSETables(plat, suite)
+	}
+	if *rmCrashAt > 0 {
+		if !policy.IsHARP() {
+			return errors.New("-rm-crash-at requires a HARP policy")
+		}
+		opts.Faults = &faultsim.Plan{Faults: []faultsim.Fault{
+			{At: *rmCrashAt, Target: faultsim.RMTarget, Kind: faultsim.KindRMCrash},
+		}}
 	}
 	if *traceFile != "" {
 		// Large enough that typical scenario runs keep every event.
@@ -150,6 +161,9 @@ func runScenario(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "scenario  : %s on %s under %s\n", sc.Name, plat.Name, policy)
 	fmt.Fprintf(out, "makespan  : %.3f s\n", res.MakespanSec)
 	fmt.Fprintf(out, "energy    : %.1f J\n", res.EnergyJ)
+	if res.RMRestarts > 0 {
+		fmt.Fprintf(out, "rm-crashes: %d survived (state %s)\n", res.RMRestarts, stateLabel(*stateDir))
+	}
 	appNames := make([]string, 0, len(res.Apps))
 	for name := range res.Apps {
 		appNames = append(appNames, name)
@@ -178,6 +192,14 @@ func runScenario(args []string, out io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// stateLabel names the durability mode for the rm-crashes summary line.
+func stateLabel(dir string) string {
+	if dir == "" {
+		return "none, cold restarts"
+	}
+	return dir
 }
 
 func parsePolicy(name string) (harpsim.Policy, error) {

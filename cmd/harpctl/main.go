@@ -108,8 +108,8 @@ func renderJSON(out io.Writer, resp map[string]json.RawMessage) error {
 	return nil
 }
 
-// renderStatus prints the per-session utility/power/allocation table behind
-// `harpctl status`.
+// renderStatus prints the RM header (generation, uptime) and the per-session
+// utility/power/allocation table behind `harpctl status`.
 func renderStatus(out io.Writer, resp map[string]json.RawMessage) error {
 	var sessions []struct {
 		Instance         string
@@ -128,6 +128,16 @@ func renderStatus(out io.Writer, resp map[string]json.RawMessage) error {
 	if err := json.Unmarshal(resp["sessions"], &sessions); err != nil {
 		return err
 	}
+	var generation uint64
+	var uptimeSec float64
+	_ = json.Unmarshal(resp["generation"], &generation)
+	_ = json.Unmarshal(resp["uptime_sec"], &uptimeSec)
+	gen := "-" // zero means the daemon runs without a state dir
+	if generation > 0 {
+		gen = strconv.FormatUint(generation, 10)
+	}
+	fmt.Fprintf(out, "rm generation %s, up %s\n",
+		gen, (time.Duration(uptimeSec*float64(time.Second))).Round(time.Second))
 	if len(sessions) == 0 {
 		fmt.Fprintln(out, "no sessions")
 		return nil

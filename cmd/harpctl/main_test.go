@@ -38,7 +38,7 @@ func fakeHarpd(t *testing.T) string {
 				enc := json.NewEncoder(conn)
 				switch req.Op {
 				case "sessions":
-					_ = enc.Encode(map[string]any{"sessions": []map[string]any{{
+					_ = enc.Encode(map[string]any{"generation": 3, "uptime_sec": 125.0, "sessions": []map[string]any{{
 						"Instance": "ep.C/1", "App": "ep.C", "Stage": "stable",
 						"Liveness": 0, "LastReportAgeSec": 0.2,
 						"Utility": 123.4, "Power": 37.5,
@@ -110,6 +110,7 @@ func TestStatusCommand(t *testing.T) {
 	}
 	out := buf.String()
 	for _, want := range []string{
+		"rm generation 3, up 2m5s",
 		"INSTANCE", "UTILITY", "LIVENESS", "AGE",
 		"ep.C/1", "stable", "123.4", "37.5", "P6", "0.2s",
 		"cg.C/2", "quarantined", "4.8s",

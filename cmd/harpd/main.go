@@ -8,11 +8,20 @@
 //	harpd -platform intel -socket /run/harp.sock -control /run/harpctl.sock \
 //	      -config /etc/harp [-no-exploration] [-liveness] \
 //	      [-suspect-after 1s -quarantine-after 3s -reap-after 10s] \
-//	      [-telemetry 127.0.0.1:9140] [-journal /var/log/harp/journal.jsonl]
+//	      [-telemetry 127.0.0.1:9140] [-journal /var/log/harp/journal.jsonl] \
+//	      [-state-dir /var/lib/harp] [-max-sessions 64]
 //
 // -liveness enables session health tracking (suspect → quarantine → reap,
 // see RESILIENCE.md); the three deadline flags tune it and imply -liveness on
 // their own. harpctl status shows each session's state and report age.
+//
+// -state-dir makes the daemon durable: learned operating-point tables and
+// session context are recovered from the directory's snapshot + write-ahead
+// log at startup (warm restart — even after kill -9), every mutation is
+// WAL-logged, and a graceful shutdown writes a final snapshot. Corrupt state
+// is quarantined and the daemon cold-starts rather than refusing to boot.
+// -max-sessions caps concurrent registrations (rejections are journalled and
+// counted). See RESILIENCE.md, "Warm restart".
 //
 // The daemon always keeps a ring buffer of adaptation-loop events (harpctl
 // trace) and a metrics registry. -telemetry additionally serves them over
@@ -67,6 +76,8 @@ func run(args []string) error {
 		telemetryAddr = fs.String("telemetry", "", "HTTP address for /metrics, /debug/vars and /debug/pprof/ (empty = off)")
 		journalPath   = fs.String("journal", "", "append per-epoch decision records (JSONL) to this file (empty = off)")
 		traceBuffer   = fs.Int("trace-buffer", 0, "event ring capacity for harpctl trace (0 = default)")
+		stateDir      = fs.String("state-dir", "", "directory for durable RM state (snapshot + WAL); restarts resume learned tables (empty = off)")
+		maxSessions   = fs.Int("max-sessions", 0, "admission cap on concurrent sessions (0 = unlimited)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -104,9 +115,27 @@ func run(args []string) error {
 		Tracer:             tracer,
 		Metrics:            metrics,
 		Journal:            journal,
+		StateDir:           *stateDir,
+		MaxSessions:        *maxSessions,
 	})
 	if err != nil {
 		return err
+	}
+	if rec, ok := srv.StoreRecovery(); ok {
+		switch {
+		case rec.ColdStart:
+			fmt.Printf("harpd: state %s: cold start (generation %d)", *stateDir, srv.Generation())
+		default:
+			fmt.Printf("harpd: state %s: warm restart (generation %d, %d WAL records)",
+				*stateDir, srv.Generation(), rec.WALRecords)
+		}
+		if rec.Quarantined != "" {
+			fmt.Printf(", corrupt files quarantined in %s", rec.Quarantined)
+		}
+		if rec.Err != nil {
+			fmt.Printf(" [%v]", rec.Err)
+		}
+		fmt.Println()
 	}
 
 	ctl, err := newControlListener(*controlPath, srv, tracer)
@@ -128,13 +157,19 @@ func run(args []string) error {
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	closeErr := make(chan error, 1)
 	go func() {
 		<-sigc
-		_ = srv.Close()
+		closeErr <- srv.Close()
 	}()
 
 	fmt.Printf("harpd: managing %s on %s (control %s)\n", plat, *socketPath, *controlPath)
-	return srv.ListenAndServe(*socketPath)
+	if err := srv.ListenAndServe(*socketPath); err != nil {
+		return err
+	}
+	// Serve returns nil only once Close has begun (the signal handler above);
+	// wait for it so the final snapshot is on disk before the process exits.
+	return <-closeErr
 }
 
 // livenessPolicy builds the session-liveness deadlines from the flags:
@@ -227,7 +262,11 @@ func (c *controlListener) handle(conn net.Conn) {
 	}
 	switch req.Op {
 	case "sessions":
-		_ = enc.Encode(map[string]any{"sessions": c.srv.Sessions()})
+		_ = enc.Encode(map[string]any{
+			"sessions":   c.srv.Sessions(),
+			"generation": c.srv.Generation(),
+			"uptime_sec": c.srv.Uptime().Seconds(),
+		})
 	case "table":
 		tbl, err := c.srv.TableSnapshot(req.Instance)
 		if err != nil {

@@ -404,8 +404,9 @@ func (c *Client) readConn() error {
 	c.mu.Lock()
 	conn := c.conn
 	c.mu.Unlock()
+	rd := proto.NewReader(conn) // reuse one frame buffer for the push stream
 	for {
-		env, err := proto.Read(conn)
+		env, err := rd.Read()
 		if err != nil {
 			return err
 		}

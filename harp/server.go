@@ -15,6 +15,7 @@ import (
 	"github.com/harp-rm/harp/internal/opoint"
 	"github.com/harp-rm/harp/internal/platform"
 	"github.com/harp-rm/harp/internal/proto"
+	"github.com/harp-rm/harp/internal/store"
 	"github.com/harp-rm/harp/internal/telemetry"
 )
 
@@ -81,6 +82,15 @@ type ServerConfig struct {
 	// Lagrangian allocator). Correctness tests inject failing solvers to
 	// verify errors surface in the journal instead of becoming decisions.
 	Allocator core.Allocator
+	// StateDir, when non-empty, makes the server durable: learned state is
+	// recovered from the directory's snapshot + WAL at startup (warm
+	// restart), every mutating operation is WAL-logged, and Close writes a
+	// final snapshot. Empty disables persistence (the pre-durability
+	// behaviour). See RESILIENCE.md, "Warm restart".
+	StateDir string
+	// MaxSessions caps concurrently registered sessions (0 = unlimited).
+	// Over-cap registrations are acked with core.ErrTooManySessions.
+	MaxSessions int
 }
 
 // LoadPlatform resolves a platform: a built-in name ("intel", "odroid", …)
@@ -132,11 +142,13 @@ func (sess *serverSession) alive(now time.Time) {
 // registrations on a Unix socket, runs the allocation and exploration logic,
 // and pushes activation decisions back to the applications.
 type Server struct {
-	cfg ServerConfig
+	cfg   ServerConfig
+	start time.Time
 
 	mu       sync.Mutex
 	mgr      *core.Manager
 	sessions map[string]*serverSession
+	store    *store.Store // nil without StateDir
 
 	ln      net.Listener
 	conns   map[net.Conn]struct{}
@@ -175,8 +187,16 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 			}
 		}
 	}
+	var st *store.Store
+	if cfg.StateDir != "" {
+		var err error
+		st, err = store.Open(cfg.StateDir, store.Options{Metrics: cfg.Metrics})
+		if err != nil {
+			return nil, fmt.Errorf("harp: open state dir: %w", err)
+		}
+	}
 	start := time.Now()
-	mgr, err := core.NewManager(core.Config{
+	coreCfg := core.Config{
 		Platform:           cfg.Platform,
 		Allocator:          cfg.Allocator,
 		Explore:            cfg.Explore,
@@ -185,15 +205,33 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		Tracer:             cfg.Tracer,
 		Journal:            cfg.Journal,
 		Metrics:            cfg.Metrics,
+		MaxSessions:        cfg.MaxSessions,
 		LatencyClock:       func() time.Duration { return time.Since(start) },
-	})
+	}
+	if st != nil {
+		// Assigned only when non-nil: a typed-nil *store.Store in the
+		// interface field would defeat the Manager's nil check.
+		coreCfg.Store = st
+	}
+	mgr, err := core.NewManager(coreCfg)
 	if err != nil {
+		if st != nil {
+			_ = st.Close()
+		}
 		return nil, err
+	}
+	if st != nil {
+		if err := mgr.ImportState(st.RecoveredState(), st.Recovery()); err != nil {
+			_ = st.Close()
+			return nil, fmt.Errorf("harp: replay recovered state: %w", err)
+		}
 	}
 	s := &Server{
 		cfg:      cfg,
+		start:    start,
 		mgr:      mgr,
 		sessions: make(map[string]*serverSession),
+		store:    st,
 		conns:    make(map[net.Conn]struct{}),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
@@ -268,7 +306,9 @@ func (s *Server) Serve(ln net.Listener) error {
 // Close shuts the server down and waits for the measure loop and all
 // connection handlers to finish. Session connections are force-closed so
 // handlers blocked in reads terminate; Close before (or without) Serve
-// returns immediately.
+// returns immediately. With a StateDir, the final snapshot is written only
+// after every handler and the measure loop have stopped — i.e. after the
+// last journalled epoch — then the store is released.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -295,7 +335,16 @@ func (s *Server) Close() error {
 	if serving {
 		<-s.done
 	}
-	return nil
+	var err error
+	s.mu.Lock()
+	if s.store != nil {
+		err = s.mgr.SnapshotTo(s.store)
+		if cerr := s.store.Close(); err == nil {
+			err = cerr
+		}
+	}
+	s.mu.Unlock()
+	return err
 }
 
 // Sessions returns the registered sessions' summaries (for harpctl), with
@@ -324,6 +373,30 @@ func (s *Server) TableSnapshot(instance string) (*opoint.Table, error) {
 	return s.mgr.Table(instance)
 }
 
+// Generation returns the store generation — how many times this state
+// directory has been opened, i.e. which incarnation of the RM this is.
+// Zero without a StateDir.
+func (s *Server) Generation() uint64 {
+	if s.store == nil {
+		return 0
+	}
+	return s.store.Generation()
+}
+
+// Uptime is the time since the server was created (for harpctl status).
+func (s *Server) Uptime() time.Duration {
+	return time.Since(s.start)
+}
+
+// StoreRecovery reports how the state directory was recovered at startup.
+// ok is false without a StateDir.
+func (s *Server) StoreRecovery() (rec store.Recovery, ok bool) {
+	if s.store == nil {
+		return store.Recovery{}, false
+	}
+	return s.store.Recovery(), true
+}
+
 // measureLoop is the 50 ms monitoring cadence; each tick also runs the
 // liveness sweep when a policy is configured.
 func (s *Server) measureLoop() {
@@ -345,6 +418,9 @@ func (s *Server) measureLoop() {
 			}
 			s.measureOnce()
 			s.livenessSweep()
+			if s.store != nil {
+				s.store.SnapshotAge() // refresh the age gauge
+			}
 		case <-s.stop:
 			return
 		}
@@ -466,7 +542,10 @@ func (s *Server) livenessSweep() {
 func (s *Server) handleConn(conn net.Conn) {
 	defer conn.Close()
 
-	env, err := proto.Read(conn)
+	// One buffer-reusing reader per connection: sessions stream utility
+	// reports every measure tick, so the per-frame allocation matters.
+	rd := proto.NewReader(conn)
+	env, err := rd.Read()
 	if err != nil {
 		return
 	}
@@ -538,7 +617,7 @@ func (s *Server) handleConn(conn net.Conn) {
 	}()
 
 	for {
-		env, err := proto.Read(conn)
+		env, err := rd.Read()
 		if err != nil {
 			return // EOF or broken peer: deregister via the deferred cleanup
 		}

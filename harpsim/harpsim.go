@@ -161,9 +161,18 @@ type Options struct {
 	// The zero value disables liveness tracking.
 	Liveness core.LivenessPolicy
 	// Faults schedules deterministic client failures (crashes, hangs,
-	// dropouts) against the managed instances. Same plan, same seed, same
-	// scenario → byte-identical decision journals. Nil disables injection.
+	// dropouts) against the managed instances — and, with target
+	// faultsim.RMTarget, crashes of the resource manager itself. Same plan,
+	// same seed, same scenario → byte-identical decision journals. Nil
+	// disables injection.
 	Faults *faultsim.Plan
+	// StateDir makes the simulated RM durable (HARP policies only): learned
+	// state is recovered from the directory at start, mutations are
+	// WAL-logged, a clean run ends with a snapshot — and an injected
+	// rm-crash fault restarts the RM warm from disk mid-run, exactly like
+	// harpd after kill -9. Empty disables persistence; rm-crash then
+	// restarts the RM cold.
+	StateDir string
 }
 
 // TimelineEvent is one applied allocation decision.
@@ -236,6 +245,8 @@ type Result struct {
 	// Timeline holds the applied decisions when Options.RecordTimeline is
 	// set (HARP policies only).
 	Timeline []TimelineEvent
+	// RMRestarts counts injected rm-crash faults the RM recovered from.
+	RMRestarts int
 }
 
 // Snapshot captures the learning state at one instant (Fig. 8 snapshots the

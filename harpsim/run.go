@@ -10,6 +10,7 @@ import (
 	"github.com/harp-rm/harp/internal/monitor"
 	"github.com/harp-rm/harp/internal/sched"
 	"github.com/harp-rm/harp/internal/sim"
+	"github.com/harp-rm/harp/internal/store"
 	"github.com/harp-rm/harp/internal/telemetry"
 	"github.com/harp-rm/harp/internal/workload"
 )
@@ -62,9 +63,15 @@ func Run(sc Scenario, opts Options) (*Result, error) {
 	})
 
 	if err := startApps(machine, sc.Apps); err != nil {
+		if harness != nil {
+			harness.abandonStore()
+		}
 		return nil, err
 	}
 	if err := machine.RunUntilIdle(opts.Horizon); err != nil {
+		if harness != nil {
+			harness.abandonStore()
+		}
 		return nil, fmt.Errorf("harpsim: scenario %s under %s: %w", sc.Name, opts.Policy, err)
 	}
 
@@ -72,6 +79,10 @@ func Run(sc Scenario, opts Options) (*Result, error) {
 	if harness != nil {
 		result.StableAfterSec = harness.stableAtSec
 		result.Timeline = harness.timeline
+		result.RMRestarts = harness.rmRestarts
+		if err := harness.shutdownStore(); err != nil {
+			return nil, err
+		}
 	}
 	return result, nil
 }
@@ -151,6 +162,13 @@ type harpHarness struct {
 	repeat       bool
 	repeatUntil  time.Duration
 	restartCount map[string]int
+
+	// Durable-RM state: coreCfg is the manager configuration template an
+	// rm-crash restart rebuilds from; st is the open store (nil without
+	// Options.StateDir); rmRestarts counts injected RM crashes.
+	coreCfg    core.Config
+	st         *store.Store
+	rmRestarts int
 }
 
 // muteState is one in-flight session fault: the victim's measurements stop
@@ -166,7 +184,7 @@ func attachHARP(machine *sim.Machine, sc Scenario, opts Options) (*harpHarness, 
 	// scenarios then produce bit-identical event streams.
 	opts.Tracer.SetClock(machine.Now)
 	disableExplore := opts.Policy == PolicyHARPOffline || !sc.Platform.SimultaneousPMU
-	mgr, err := core.NewManager(core.Config{
+	coreCfg := core.Config{
 		Platform:           sc.Platform,
 		Explore:            opts.Explore,
 		OfflineTables:      opts.OfflineTables,
@@ -175,12 +193,35 @@ func attachHARP(machine *sim.Machine, sc Scenario, opts Options) (*harpHarness, 
 		Tracer:             opts.Tracer,
 		Journal:            opts.Journal,
 		Metrics:            opts.Metrics,
-	})
+	}
+	// coreCfg stays Store-free as the restart template; cfg is the working
+	// copy with the live store attached (only when non-nil — a typed-nil
+	// interface would defeat the Manager's nil check).
+	var st *store.Store
+	cfg := coreCfg
+	if opts.StateDir != "" {
+		var err error
+		st, err = store.Open(opts.StateDir, store.Options{Metrics: opts.Metrics})
+		if err != nil {
+			return nil, fmt.Errorf("harpsim: open state dir: %w", err)
+		}
+		cfg.Store = st
+	}
+	mgr, err := core.NewManager(cfg)
 	if err != nil {
 		return nil, err
 	}
+	if st != nil {
+		if err := mgr.ImportState(st.RecoveredState(), st.Recovery()); err != nil {
+			_ = st.Close()
+			return nil, err
+		}
+	}
 	mon, err := monitor.New(machine, monitor.WithSeed(opts.Seed), monitor.WithTracer(opts.Tracer))
 	if err != nil {
+		if st != nil {
+			_ = st.Close()
+		}
 		return nil, err
 	}
 
@@ -199,6 +240,8 @@ func attachHARP(machine *sim.Machine, sc Scenario, opts Options) (*harpHarness, 
 		lastSeen:      make(map[string]time.Duration),
 		muted:         make(map[string]*muteState),
 		trackSessions: opts.Liveness.Enabled() || opts.Faults != nil,
+		coreCfg:       coreCfg,
+		st:            st,
 	}
 	h.buildTopology()
 
@@ -389,6 +432,10 @@ func (h *harpHarness) measureTick(now time.Duration) {
 // one measure interval.
 func (h *harpHarness) injectFaults(now time.Duration) {
 	for _, f := range h.faults.Due(now) {
+		if f.Kind == faultsim.KindRMCrash {
+			h.restartRM(now)
+			continue
+		}
 		p, ok := h.managed[f.Target]
 		if !ok || p.Done() {
 			continue
@@ -403,6 +450,74 @@ func (h *harpHarness) injectFaults(now time.Duration) {
 		case faultsim.KindDisconnect:
 			h.muted[f.Target] = &muteState{until: now + h.opts.MeasureEvery, reconnect: true}
 		}
+	}
+}
+
+// restartRM simulates kill -9 of the resource manager followed by an
+// immediate restart: the store is closed without a final snapshot (WAL only,
+// exactly the crash the durable layer exists for), reopened, and a fresh
+// Manager replays the recovered state. Every session died with the old RM;
+// live unmuted clients re-register immediately (libharp auto-reconnect),
+// muted ones when their own fault lifts.
+func (h *harpHarness) restartRM(now time.Duration) {
+	cfg := h.coreCfg
+	if h.st != nil {
+		_ = h.st.Close() // crash: no snapshot
+		st, err := store.Open(h.opts.StateDir, store.Options{Metrics: h.opts.Metrics})
+		if err != nil {
+			return // state dir unusable: keep the old RM running
+		}
+		h.st = st
+		cfg.Store = st
+	}
+	mgr, err := core.NewManager(cfg)
+	if err != nil {
+		return
+	}
+	if h.st != nil {
+		if err := mgr.ImportState(h.st.RecoveredState(), h.st.Recovery()); err != nil {
+			return
+		}
+	}
+	h.mgr = mgr
+	mgr.OnDecision(h.applyDecision)
+	h.rmRestarts++
+	for _, instance := range h.instances() {
+		h.sessionUp[instance] = false
+	}
+	// The restart severed every connection, so even clients muted by a
+	// timed fault come back through the reconnect path once they recover.
+	for _, ms := range h.muted {
+		if ms.until >= 0 {
+			ms.reconnect = true
+		}
+	}
+	for _, instance := range h.instances() {
+		if _, isMuted := h.muted[instance]; isMuted {
+			continue
+		}
+		h.reconnectSession(instance, now)
+	}
+}
+
+// shutdownStore ends a clean run: final snapshot, then release the store.
+func (h *harpHarness) shutdownStore() error {
+	if h.st == nil {
+		return nil
+	}
+	err := h.mgr.SnapshotTo(h.st)
+	if cerr := h.st.Close(); err == nil {
+		err = cerr
+	}
+	h.st = nil
+	return err
+}
+
+// abandonStore releases the store without a snapshot (failed runs).
+func (h *harpHarness) abandonStore() {
+	if h.st != nil {
+		_ = h.st.Close()
+		h.st = nil
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"github.com/harp-rm/harp/internal/explore"
 	"github.com/harp-rm/harp/internal/opoint"
 	"github.com/harp-rm/harp/internal/platform"
+	"github.com/harp-rm/harp/internal/store"
 	"github.com/harp-rm/harp/internal/telemetry"
 	"github.com/harp-rm/harp/internal/workload"
 )
@@ -130,6 +131,13 @@ type Config struct {
 	// startup; simulated runs leave it nil (the histogram would measure
 	// host speed, not simulated behaviour).
 	LatencyClock func() time.Duration
+	// Store receives one durable record per mutating operation (nil
+	// disables persistence). Assign a *store.Store only when non-nil — a
+	// typed-nil interface would defeat the Manager's nil check.
+	Store StateSink
+	// MaxSessions caps concurrent registrations (0 = unlimited). Attempts
+	// beyond the cap fail with ErrTooManySessions.
+	MaxSessions int
 }
 
 type session struct {
@@ -173,6 +181,9 @@ type Manager struct {
 	// ended remembers instances that deregistered, so a re-registration of
 	// the same instance can be counted as a session resumption.
 	ended map[string]struct{}
+	// priorPhase remembers the last announced phase of sessions recovered
+	// from durable state (ImportState), restored when the client reconnects.
+	priorPhase map[string]string
 
 	// pendingOut accumulates the decisions pushed since the last journal
 	// epoch (only when a journal is configured), so an epoch's Outputs are
@@ -250,12 +261,21 @@ func (m *Manager) Register(instance, app string, adaptivity workload.Adaptivity,
 	if _, ok := m.sessions[instance]; ok {
 		return fmt.Errorf("%w: %s", ErrDuplicateSession, instance)
 	}
+	if m.cfg.MaxSessions > 0 && len(m.sessions) >= m.cfg.MaxSessions {
+		return m.rejectRegistration(instance, app, "max-sessions")
+	}
 	s := &session{
 		instance:   instance,
 		app:        app,
 		adaptivity: adaptivity,
 		ownUtility: ownUtility,
 		explorer:   m.explorerFor(app),
+	}
+	if phase, ok := m.priorPhase[instance]; ok {
+		// The instance existed before an RM restart; resume its announced
+		// phase so the journal and status views stay continuous.
+		s.phase = phase
+		delete(m.priorPhase, instance)
 	}
 	m.sessions[instance] = s
 	m.order = append(m.order, instance)
@@ -293,6 +313,14 @@ func (m *Manager) Register(instance, app string, adaptivity workload.Adaptivity,
 		m.updateLiveGauge()
 		return err
 	}
+	m.appendRecord(store.Record{
+		Kind:       store.RecRegister,
+		Instance:   instance,
+		App:        app,
+		Adaptivity: adaptivity.String(),
+		OwnUtility: s.ownUtility,
+		Phase:      s.phase,
+	})
 	return nil
 }
 
@@ -310,7 +338,9 @@ func (m *Manager) UploadTable(instance string, t *opoint.Table) error {
 		return err
 	}
 	s.explorer.SeedTable(t)
-	return m.reallocate("table-upload")
+	rerr := m.reallocate("table-upload")
+	m.appendRecord(store.Record{Kind: store.RecTable, Instance: instance, App: s.app, Table: t})
+	return rerr
 }
 
 // Deregister removes a session (application exit) and reallocates.
@@ -358,9 +388,12 @@ func (m *Manager) deregister(instance, trigger string, kind telemetry.EventKind)
 		if mt := m.cfg.Metrics; mt != nil {
 			mt.CoresGranted.Set(0)
 		}
+		m.appendRecord(store.Record{Kind: store.RecDeregister, Instance: instance, App: s.app})
 		return nil
 	}
-	return m.reallocate(trigger)
+	rerr := m.reallocate(trigger)
+	m.appendRecord(store.Record{Kind: store.RecDeregister, Instance: instance, App: s.app})
+	return rerr
 }
 
 // SetLiveness transitions a session's health state (driven by the embedding
@@ -476,7 +509,8 @@ func (m *Manager) Measure(instance string, utility, power float64) error {
 		return nil
 	}
 	if m.exploring(s) {
-		if _, ok := s.explorer.Current(); !ok {
+		cur, measuring := s.explorer.Current()
+		if !measuring {
 			// Not currently measuring (e.g. just seeded); start a point.
 			if err := m.startExploration(s); err != nil {
 				return m.reallocate("exploration")
@@ -490,14 +524,29 @@ func (m *Manager) Measure(instance string, utility, power float64) error {
 		if !done {
 			return nil
 		}
-		if s.explorer.Stage() == explore.StageStable {
+		var rerr error
+		switch {
+		case s.explorer.Stage() == explore.StageStable:
 			// Graduation: pick the cost-optimal allocation system-wide.
-			return m.reallocate("graduation")
+			rerr = m.reallocate("graduation")
+		default:
+			if err := m.startExploration(s); err != nil {
+				rerr = m.reallocate("exploration")
+			} else {
+				rerr = m.flushMeasureEpoch()
+			}
 		}
-		if err := m.startExploration(s); err != nil {
-			return m.reallocate("exploration")
+		// Persist the committed point (after the reallocation, so the
+		// record's Seq covers any decisions the commit triggered).
+		if op, ok := s.explorer.Table().Lookup(cur); ok {
+			m.appendRecord(store.Record{
+				Kind:  store.RecPoint,
+				App:   s.app,
+				Point: &op,
+				Stage: s.explorer.Stage().String(),
+			})
 		}
-		return m.flushMeasureEpoch()
+		return rerr
 	}
 
 	s.stableMeasurements++
@@ -539,7 +588,9 @@ func (m *Manager) PhaseChange(instance, phase string) error {
 		App:      s.app,
 		Stage:    phase,
 	})
-	return m.reallocate("phase-change")
+	rerr := m.reallocate("phase-change")
+	m.appendRecord(store.Record{Kind: store.RecPhase, Instance: instance, App: s.app, Phase: phase})
+	return rerr
 }
 
 // Reallocate recomputes allocations for all sessions and pushes changed

@@ -40,12 +40,22 @@ const (
 	KindDisconnect Kind = "disconnect"
 	// KindDelayWrites adds Duration of latency to every client write.
 	KindDelayWrites Kind = "delay-writes"
+	// KindRMCrash kills and restarts the resource manager itself (target
+	// must be RMTarget): every session dies with it, and the RM comes back
+	// warm from its state directory — or cold without one. Clients behave
+	// like libharp's auto-reconnect: live ones re-register immediately,
+	// muted ones when their own fault lifts.
+	KindRMCrash Kind = "rm-crash"
 )
+
+// RMTarget is the Fault.Target naming the resource manager itself, the
+// victim of KindRMCrash.
+const RMTarget = "rm"
 
 // Valid reports whether k is a known failure mode.
 func (k Kind) Valid() bool {
 	switch k {
-	case KindCrash, KindHang, KindDropout, KindSlowReader, KindDisconnect, KindDelayWrites:
+	case KindCrash, KindHang, KindDropout, KindSlowReader, KindDisconnect, KindDelayWrites, KindRMCrash:
 		return true
 	}
 	return false
@@ -64,7 +74,9 @@ func (k Kind) Timed() bool {
 // model (no real sockets there).
 func SimKinds() []Kind { return []Kind{KindCrash, KindHang, KindDropout} }
 
-// AllKinds lists every failure mode.
+// AllKinds lists every client-side failure mode. KindRMCrash is excluded:
+// it targets the RM, not an application instance, so it is scheduled by hand
+// (Generate assigns application targets).
 func AllKinds() []Kind {
 	return []Kind{KindCrash, KindHang, KindDropout, KindSlowReader, KindDisconnect, KindDelayWrites}
 }
@@ -152,6 +164,9 @@ func (p *Plan) Validate() error {
 		}
 		if f.Kind.Timed() && f.Duration == 0 {
 			return fmt.Errorf("faultsim: fault %d: %s without duration", i, f.Kind)
+		}
+		if f.Kind == KindRMCrash && f.Target != RMTarget {
+			return fmt.Errorf("faultsim: fault %d: rm-crash must target %q, got %q", i, RMTarget, f.Target)
 		}
 		if f.At < prev {
 			return fmt.Errorf("faultsim: fault %d: out of order (%v after %v)", i, f.At, prev)

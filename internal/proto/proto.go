@@ -170,20 +170,64 @@ func Write(w io.Writer, typ MsgType, body any) error {
 }
 
 // Read reads one framed message. io.EOF is returned verbatim on a clean
-// close before the header.
+// close before the header. Each call allocates a fresh frame buffer; loops
+// reading many messages from one connection should use a Reader instead.
 func Read(r io.Reader) (Envelope, error) {
+	n, err := readHeader(r)
+	if err != nil {
+		return Envelope{}, err
+	}
+	buf := make([]byte, n)
+	return readFrame(r, buf)
+}
+
+// Reader reads framed messages from a single connection, reusing one frame
+// buffer across calls. Decoding is safe despite the reuse: Envelope.Body is
+// a json.RawMessage, whose UnmarshalJSON copies the bytes out of the frame
+// buffer, so nothing returned by Read aliases it. A Reader is not safe for
+// concurrent use — one per connection, like the read loop that owns it.
+type Reader struct {
+	r   io.Reader
+	buf []byte
+}
+
+// NewReader wraps r for buffer-reusing frame reads.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: r}
+}
+
+// Read reads one framed message, like the package-level Read but without the
+// per-frame buffer allocation once the buffer has grown to the connection's
+// working frame size.
+func (rd *Reader) Read() (Envelope, error) {
+	n, err := readHeader(rd.r)
+	if err != nil {
+		return Envelope{}, err
+	}
+	if cap(rd.buf) < int(n) {
+		rd.buf = make([]byte, n)
+	}
+	return readFrame(rd.r, rd.buf[:n])
+}
+
+// readHeader reads and validates the 4-byte length prefix.
+func readHeader(r io.Reader) (uint32, error) {
 	var header [4]byte
 	if _, err := io.ReadFull(r, header[:]); err != nil {
 		if errors.Is(err, io.EOF) {
-			return Envelope{}, io.EOF
+			return 0, io.EOF
 		}
-		return Envelope{}, fmt.Errorf("proto: read header: %w", err)
+		return 0, fmt.Errorf("proto: read header: %w", err)
 	}
 	n := binary.BigEndian.Uint32(header[:])
 	if n > MaxFrame {
-		return Envelope{}, ErrFrameTooLarge
+		return 0, ErrFrameTooLarge
 	}
-	buf := make([]byte, n)
+	return n, nil
+}
+
+// readFrame fills buf from r and decodes the envelope it holds.
+func readFrame(r io.Reader, buf []byte) (Envelope, error) {
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return Envelope{}, fmt.Errorf("proto: read frame: %w", err)
 	}

@@ -1,0 +1,515 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"github.com/harp-rm/harp/internal/opoint"
+	"github.com/harp-rm/harp/internal/telemetry"
+)
+
+// On-disk layout inside the state directory:
+//
+//	snapshot.harp   magic "HARPSNAP" | version u32 | length u32 | JSON | crc32 u32
+//	wal.log         magic "HARPWAL\n" | version u32, then per record:
+//	                length u32 | crc32 u32 | JSON payload
+//	quarantine-N/   corrupt files moved aside by recovery (never deleted)
+//
+// All integers are big-endian; CRCs are IEEE over the JSON payload alone.
+// The snapshot is written to a temp file, fsynced, then renamed — readers
+// see the old snapshot or the new one, never a torn mix. WAL appends are
+// plain writes (no per-record fsync): the layer targets process crashes
+// (kill -9), where completed write()s survive in the page cache.
+const (
+	snapshotName  = "snapshot.harp"
+	walName       = "wal.log"
+	snapshotMagic = "HARPSNAP"
+	walMagic      = "HARPWAL\n"
+	// Version is the on-disk format version of both files.
+	Version = 1
+	// MaxPayload bounds one snapshot or WAL record payload (a table of a few
+	// hundred points is ~100 KiB; 64 MiB is far above any legitimate state).
+	MaxPayload = 64 << 20
+)
+
+// ErrCorrupt wraps any decode failure in the snapshot or WAL.
+var ErrCorrupt = errors.New("store: corrupt")
+
+// Recovery describes what Open found and did.
+type Recovery struct {
+	// Generation is the store generation after recovery: the recovered
+	// generation + 1 (1 on a cold start of a fresh directory).
+	Generation uint64
+	// ColdStart is true when no usable prior state existed (fresh directory
+	// or fully corrupt store).
+	ColdStart bool
+	// SnapshotLoaded is true when a valid snapshot was read.
+	SnapshotLoaded bool
+	// WALRecords counts the WAL records replayed on top of the snapshot.
+	WALRecords int
+	// TruncatedBytes counts torn-tail bytes dropped from the WAL.
+	TruncatedBytes int64
+	// Corruptions counts corruption events (torn tails, quarantined files).
+	Corruptions int
+	// Quarantined is the directory corrupt files were moved into ("" if none).
+	Quarantined string
+	// Err is the corruption that forced a fallback (nil on a clean recovery;
+	// a recovery can succeed with Err set — e.g. a quarantined WAL with a
+	// healthy snapshot).
+	Err error
+	// Duration is how long recovery took.
+	Duration time.Duration
+}
+
+// Store is the durable-state handle. Append and WriteSnapshot serialise
+// internally, so the embedder's Manager lock and a shutdown path may race
+// safely. The recovered state is fixed at Open; mutations flow in through
+// Append.
+type Store struct {
+	dir     string
+	metrics *telemetry.Metrics
+
+	mu         sync.Mutex
+	wal        *os.File
+	lsn        uint64 // last assigned LSN
+	generation uint64
+	recovered  *State
+	recovery   Recovery
+	stickyErr  error
+	walRecords int
+	lastSnap   time.Time
+	closed     bool
+}
+
+// Options configures Open.
+type Options struct {
+	// Metrics receives harp_store_* updates (nil disables).
+	Metrics *telemetry.Metrics
+}
+
+// Open recovers the state directory (creating it if needed) and returns a
+// store ready for appends. Recovery ladder, most- to least-preferred:
+//
+//  1. valid snapshot + WAL (a torn tail is truncated to the last valid
+//     record) → warm start;
+//  2. valid snapshot, unreadable WAL → the WAL is quarantined, warm start
+//     from the snapshot alone;
+//  3. unreadable snapshot → both files are quarantined, cold start.
+//
+// Open never fails on corruption — only on I/O errors (unwritable
+// directory). The caller learns what happened from Recovery().
+func Open(dir string, opts Options) (*Store, error) {
+	start := time.Now()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, metrics: opts.Metrics}
+
+	st := NewState()
+	snapPath := filepath.Join(dir, snapshotName)
+	walPath := filepath.Join(dir, walName)
+
+	snapRaw, snapErr := os.ReadFile(snapPath)
+	haveSnap := snapErr == nil
+	if haveSnap {
+		dec, err := DecodeSnapshot(snapRaw)
+		if err != nil {
+			// Ladder rung 3: the snapshot is the root of trust; if it is
+			// unreadable the WAL's base state is unknown, so both go to
+			// quarantine and the store cold-starts.
+			s.recovery.Err = err
+			s.recovery.Corruptions++
+			s.quarantine(snapPath, walPath)
+			st = NewState()
+			s.recovery.ColdStart = true
+		} else {
+			st = dec
+			s.recovery.SnapshotLoaded = true
+		}
+	}
+
+	if s.recovery.Quarantined == "" {
+		if walRaw, err := os.Open(walPath); err == nil {
+			n, valid, replayErr := ReplayWAL(walRaw, func(r Record) { st.Apply(r) })
+			size, _ := walRaw.Seek(0, io.SeekEnd)
+			walRaw.Close()
+			s.recovery.WALRecords = n
+			switch {
+			case replayErr == nil:
+				// clean
+			case valid > 0:
+				// Ladder rung 1: the header was valid, so the failure is a
+				// torn or truncated tail — keep everything up to the last
+				// valid record and drop the rest.
+				s.recovery.TruncatedBytes = size - valid
+				s.recovery.Corruptions++
+				s.recovery.Err = replayErr
+				if err := os.Truncate(walPath, valid); err != nil {
+					return nil, fmt.Errorf("store: truncate torn WAL tail: %w", err)
+				}
+			default:
+				// Ladder rung 2: not even the header decodes — quarantine the
+				// WAL, keep the snapshot state.
+				s.recovery.Corruptions++
+				s.recovery.Err = replayErr
+				s.quarantine(walPath)
+				if !haveSnap {
+					s.recovery.ColdStart = true
+				}
+			}
+		} else if !haveSnap {
+			s.recovery.ColdStart = true
+		}
+	}
+
+	s.generation = st.Generation + 1
+	s.lsn = st.WALSeq
+	st.Generation = s.generation
+	s.recovered = st
+	s.recovery.Generation = s.generation
+
+	wal, err := openWALForAppend(walPath)
+	if err != nil {
+		return nil, err
+	}
+	s.wal = wal
+
+	// Boot checkpoint: fold the recovered state (with its bumped generation)
+	// into a fresh snapshot right away. This makes the generation durable
+	// even if the process dies before its first graceful snapshot, heals a
+	// truncated WAL permanently, and starts every run with an empty WAL.
+	if err := s.WriteSnapshot(s.recovered); err != nil {
+		return nil, fmt.Errorf("store: boot checkpoint: %w", err)
+	}
+
+	s.recovery.Duration = time.Since(start)
+	if m := s.metrics; m != nil {
+		m.StoreReplaySeconds.Set(s.recovery.Duration.Seconds())
+		m.StoreCorruptions.Add(uint64(s.recovery.Corruptions))
+	}
+	return s, nil
+}
+
+// quarantine moves the given files into a fresh quarantine-N subdirectory
+// for post-mortem inspection. Failures are folded into the sticky error —
+// recovery proceeds regardless (the files will be overwritten).
+func (s *Store) quarantine(paths ...string) {
+	var qdir string
+	for n := 1; ; n++ {
+		qdir = filepath.Join(s.dir, fmt.Sprintf("quarantine-%d", n))
+		if err := os.Mkdir(qdir, 0o755); err == nil {
+			break
+		} else if !os.IsExist(err) {
+			s.stickyErr = err
+			return
+		}
+	}
+	s.recovery.Quarantined = qdir
+	for _, p := range paths {
+		if _, err := os.Stat(p); err != nil {
+			continue
+		}
+		if err := os.Rename(p, filepath.Join(qdir, filepath.Base(p))); err != nil {
+			s.stickyErr = err
+		}
+	}
+}
+
+// openWALForAppend opens (or creates) the WAL positioned for appends,
+// writing the header if the file is new.
+func openWALForAppend(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if fi.Size() == 0 {
+		var hdr [12]byte
+		copy(hdr[:8], walMagic)
+		binary.BigEndian.PutUint32(hdr[8:], Version)
+		if _, err := f.Write(hdr[:]); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return f, nil
+}
+
+// RecoveredState returns the state recovered at Open. The caller owns it
+// (Open built it fresh); it already carries the new generation.
+func (s *Store) RecoveredState() *State { return s.recovered }
+
+// Recovery returns the recovery report.
+func (s *Store) Recovery() Recovery { return s.recovery }
+
+// Generation returns the store generation (restart counter).
+func (s *Store) Generation() uint64 { return s.generation }
+
+// Dir returns the state directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Err returns the sticky append/quarantine error, if any. The store keeps
+// accepting calls after an error (the RM must not die because its disk
+// did), but the embedder can surface it.
+func (s *Store) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stickyErr
+}
+
+// Append assigns the record an LSN and writes it to the WAL. Errors are
+// sticky and also returned; callers on the hot path may ignore them.
+func (s *Store) Append(rec Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("store: closed")
+	}
+	s.lsn++
+	rec.LSN = s.lsn
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		s.stickyErr = err
+		return err
+	}
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	if _, err := s.wal.Write(hdr[:]); err != nil {
+		s.stickyErr = err
+		return err
+	}
+	if _, err := s.wal.Write(payload); err != nil {
+		s.stickyErr = err
+		return err
+	}
+	s.walRecords++
+	if m := s.metrics; m != nil {
+		m.StoreWALRecords.Inc()
+		if !s.lastSnap.IsZero() {
+			m.StoreSnapshotAge.Set(time.Since(s.lastSnap).Seconds())
+		}
+	}
+	return nil
+}
+
+// WriteSnapshot persists the state atomically and rotates the WAL. The
+// state's Generation and WALSeq are stamped from the store, so a replay of
+// any WAL records that survive a crash mid-rotation is a no-op.
+func (s *Store) WriteSnapshot(st *State) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("store: closed")
+	}
+	st.Generation = s.generation
+	st.WALSeq = s.lsn
+	raw, err := EncodeSnapshot(st)
+	if err != nil {
+		s.stickyErr = err
+		return err
+	}
+
+	snapPath := filepath.Join(s.dir, snapshotName)
+	tmp, err := os.CreateTemp(s.dir, snapshotName+".tmp-*")
+	if err != nil {
+		s.stickyErr = err
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(raw); err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmpName, snapPath)
+	}
+	if err != nil {
+		os.Remove(tmpName)
+		s.stickyErr = err
+		return err
+	}
+
+	// Rotate the WAL: everything up to s.lsn is folded into the snapshot.
+	// A crash before the rotation completes is safe — WALSeq skips the
+	// stale records on replay.
+	if err := s.rotateWALLocked(); err != nil {
+		s.stickyErr = err
+		return err
+	}
+
+	s.lastSnap = time.Now()
+	if m := s.metrics; m != nil {
+		m.StoreSnapshotBytes.Set(float64(len(raw)))
+		m.StoreSnapshotAge.Set(0)
+	}
+	return nil
+}
+
+// rotateWALLocked truncates the WAL back to a bare header. s.mu held.
+func (s *Store) rotateWALLocked() error {
+	if err := s.wal.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := s.wal.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	var hdr [12]byte
+	copy(hdr[:8], walMagic)
+	binary.BigEndian.PutUint32(hdr[8:], Version)
+	if _, err := s.wal.Write(hdr[:]); err != nil {
+		return err
+	}
+	return nil
+}
+
+// SnapshotAge returns the time since the last snapshot (0 if none yet) and
+// refreshes the harp_store_snapshot_age_seconds gauge. Embedders call it
+// from a periodic sweep.
+func (s *Store) SnapshotAge() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lastSnap.IsZero() {
+		return 0
+	}
+	age := time.Since(s.lastSnap)
+	if m := s.metrics; m != nil {
+		m.StoreSnapshotAge.Set(age.Seconds())
+	}
+	return age
+}
+
+// Close releases the WAL handle. It does NOT write a snapshot — graceful
+// shutdown paths call WriteSnapshot first; crash simulations call Close
+// alone.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.wal.Close()
+}
+
+// EncodeSnapshot renders the snapshot file bytes for the state.
+func EncodeSnapshot(st *State) ([]byte, error) {
+	payload, err := json.Marshal(st)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, len(snapshotMagic)+12+len(payload))
+	out = append(out, snapshotMagic...)
+	out = binary.BigEndian.AppendUint32(out, Version)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(payload)))
+	out = append(out, payload...)
+	out = binary.BigEndian.AppendUint32(out, crc32.ChecksumIEEE(payload))
+	return out, nil
+}
+
+// DecodeSnapshot parses snapshot file bytes. Any structural defect —
+// short file, wrong magic or version, length out of bounds, CRC mismatch,
+// invalid JSON, trailing garbage — returns an error wrapping ErrCorrupt.
+func DecodeSnapshot(raw []byte) (*State, error) {
+	hdrLen := len(snapshotMagic) + 8
+	if len(raw) < hdrLen+4 {
+		return nil, fmt.Errorf("%w: snapshot too short (%d bytes)", ErrCorrupt, len(raw))
+	}
+	if string(raw[:len(snapshotMagic)]) != snapshotMagic {
+		return nil, fmt.Errorf("%w: bad snapshot magic", ErrCorrupt)
+	}
+	ver := binary.BigEndian.Uint32(raw[len(snapshotMagic):])
+	if ver != Version {
+		return nil, fmt.Errorf("%w: unsupported snapshot version %d", ErrCorrupt, ver)
+	}
+	n := binary.BigEndian.Uint32(raw[len(snapshotMagic)+4:])
+	if n > MaxPayload || int64(n) != int64(len(raw)-hdrLen-4) {
+		return nil, fmt.Errorf("%w: snapshot length %d does not match file", ErrCorrupt, n)
+	}
+	payload := raw[hdrLen : hdrLen+int(n)]
+	want := binary.BigEndian.Uint32(raw[hdrLen+int(n):])
+	if crc32.ChecksumIEEE(payload) != want {
+		return nil, fmt.Errorf("%w: snapshot CRC mismatch", ErrCorrupt)
+	}
+	st := NewState()
+	if err := json.Unmarshal(payload, st); err != nil {
+		return nil, fmt.Errorf("%w: snapshot payload: %v", ErrCorrupt, err)
+	}
+	if st.Tables == nil {
+		st.Tables = make(map[string]*opoint.Table)
+	}
+	return st, nil
+}
+
+// ReplayWAL streams records out of a WAL reader, calling apply for each
+// CRC-valid record. It returns the record count, the byte offset of the end
+// of the last valid record (the truncation point for a torn tail), and the
+// error that stopped replay (nil at a clean EOF). A torn or bit-flipped
+// tail is an expected crash artefact, not a failure: everything before it
+// has been applied. The function never panics on arbitrary input.
+func ReplayWAL(r io.Reader, apply func(Record)) (records int, valid int64, err error) {
+	hdr := make([]byte, len(walMagic)+4)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, 0, fmt.Errorf("%w: WAL header: %v", ErrCorrupt, err)
+	}
+	if string(hdr[:len(walMagic)]) != walMagic {
+		return 0, 0, fmt.Errorf("%w: bad WAL magic", ErrCorrupt)
+	}
+	if ver := binary.BigEndian.Uint32(hdr[len(walMagic):]); ver != Version {
+		return 0, 0, fmt.Errorf("%w: unsupported WAL version %d", ErrCorrupt, ver)
+	}
+	valid = int64(len(hdr))
+
+	var rechdr [8]byte
+	var buf []byte
+	for {
+		if _, err := io.ReadFull(r, rechdr[:]); err != nil {
+			if err == io.EOF {
+				return records, valid, nil
+			}
+			return records, valid, fmt.Errorf("%w: record header: %v", ErrCorrupt, err)
+		}
+		n := binary.BigEndian.Uint32(rechdr[:4])
+		want := binary.BigEndian.Uint32(rechdr[4:])
+		if n > MaxPayload {
+			return records, valid, fmt.Errorf("%w: record length %d exceeds limit", ErrCorrupt, n)
+		}
+		if uint32(cap(buf)) < n {
+			buf = make([]byte, n)
+		}
+		payload := buf[:n]
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return records, valid, fmt.Errorf("%w: record payload: %v", ErrCorrupt, err)
+		}
+		if crc32.ChecksumIEEE(payload) != want {
+			return records, valid, fmt.Errorf("%w: record CRC mismatch", ErrCorrupt)
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return records, valid, fmt.Errorf("%w: record payload: %v", ErrCorrupt, err)
+		}
+		if apply != nil {
+			apply(rec)
+		}
+		records++
+		valid += int64(len(rechdr)) + int64(n)
+	}
+}

@@ -385,6 +385,22 @@ type Metrics struct {
 	// Reconnects counts session resumptions: registrations that replaced a
 	// previously reaped or exited instance of the same application.
 	Reconnects *Counter
+
+	// SessionsRejected counts registrations refused by admission control
+	// (MaxSessions cap).
+	SessionsRejected *Counter
+	// StoreSnapshotAge gauges seconds since the last snapshot was written
+	// (on the embedder's clock; 0 until the first snapshot).
+	StoreSnapshotAge *Gauge
+	// StoreSnapshotBytes gauges the size of the last written snapshot.
+	StoreSnapshotBytes *Gauge
+	// StoreWALRecords counts records appended to the write-ahead log.
+	StoreWALRecords *Counter
+	// StoreReplaySeconds gauges how long the last recovery replay took.
+	StoreReplaySeconds *Gauge
+	// StoreCorruptions counts corruption events detected by the store
+	// (torn WAL tails truncated, quarantined snapshots/WALs).
+	StoreCorruptions *Counter
 }
 
 // NewMetrics creates the standard instrument bundle on the registry.
@@ -411,5 +427,12 @@ func NewMetrics(r *Registry) *Metrics {
 		SessionsReadmitted:  r.Counter("harp_sessions_readmitted_total", "Suspect or quarantined sessions that resumed reporting."),
 		WriteTimeouts:       r.Counter("harp_write_timeouts_total", "Connection writes that missed their deadline or failed."),
 		Reconnects:          r.Counter("harp_session_reconnects_total", "Registrations that resumed a previously ended instance."),
+
+		SessionsRejected:   r.Counter("harp_sessions_rejected_total", "Registrations refused by admission control."),
+		StoreSnapshotAge:   r.Gauge("harp_store_snapshot_age_seconds", "Seconds since the last durable-state snapshot."),
+		StoreSnapshotBytes: r.Gauge("harp_store_snapshot_bytes", "Size of the last durable-state snapshot."),
+		StoreWALRecords:    r.Counter("harp_store_wal_records_total", "Records appended to the durable-state write-ahead log."),
+		StoreReplaySeconds: r.Gauge("harp_store_replay_seconds", "Duration of the last durable-state recovery replay."),
+		StoreCorruptions:   r.Counter("harp_store_corruptions_total", "Corruption events detected in the durable-state store."),
 	}
 }

@@ -67,6 +67,17 @@ const (
 	// EvSessionReaped: the liveness reaper deregistered a dead session
 	// (as opposed to a voluntary exit, which is EvSessionExited).
 	EvSessionReaped
+	// EvStateRecovered: the RM imported durable state on startup (Seq =
+	// recovered generation, Vals[0] = replayed tables, Vals[1] = prior
+	// sessions, Vals[2] = replayed WAL records; Stage carries "cold" when
+	// recovery fell back to an empty store).
+	EvStateRecovered
+	// EvSnapshotWritten: a full state snapshot was persisted (Seq = decision
+	// sequence high-water at the time, Vals[0] = snapshot bytes).
+	EvSnapshotWritten
+	// EvSessionRejected: a registration was refused by admission control
+	// (Stage carries the reason, e.g. "max-sessions").
+	EvSessionRejected
 )
 
 // String implements fmt.Stringer.
@@ -100,6 +111,12 @@ func (k EventKind) String() string {
 		return "session-readmitted"
 	case EvSessionReaped:
 		return "session-reaped"
+	case EvStateRecovered:
+		return "state-recovered"
+	case EvSnapshotWritten:
+		return "snapshot-written"
+	case EvSessionRejected:
+		return "session-rejected"
 	default:
 		return "event(?)"
 	}
