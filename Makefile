@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race bench bench-parallel trace-demo fuzz-smoke invariants invariants-long
+.PHONY: build test check race bench bench-alloc bench-parallel trace-demo fuzz-smoke invariants invariants-long
 
 build:
 	$(GO) build ./...
@@ -26,7 +26,7 @@ race:
 # one-line repro; set HARP_CHECK_ARTIFACTS to also write it to a file.
 invariants:
 	$(GO) test -race -count=1 \
-		-run 'TestDifferential|TestBugCrop|TestOracle|TestShrink|TestCheckTimeline|TestSimInvariants|TestSimJournalMatchesPushedInvariant|TestSimTimelineIsolation|TestManagerInvariants|TestRegisterRollback|TestManagerSameSeed' \
+		-run 'TestDifferential|TestBugCrop|TestOracle|TestShrink|TestCheckTimeline|TestSimInvariants|TestSimJournalMatchesPushedInvariant|TestSimTimelineIsolation|TestManagerInvariants|TestRegisterRollback|TestManagerSameSeed|TestCacheChurnNeverStale|TestCacheTransparentInSimulation' \
 		./internal/check/ ./internal/alloc/ ./internal/core/ ./harpsim/
 
 # invariants-long is the nightly sweep: the same harness over an order of
@@ -43,8 +43,19 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzSnapshot$$' -fuzztime 10s ./internal/store/
 	$(GO) test -run '^$$' -fuzz '^FuzzWAL$$' -fuzztime 10s ./internal/store/
 
+# bench runs the experiment-level benchmarks, then regenerates
+# BENCH_alloc.json (the committed allocator performance record — see
+# PERFORMANCE.md) while enforcing the allocator's performance contracts:
+# 0 allocs/op and >= 10x speedup on the cache-hit path, and warm starts
+# never costing λ iterations.
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+	$(GO) run ./cmd/harp-bench -enforce -out BENCH_alloc.json
+
+# bench-alloc regenerates and enforces only the allocator record (what the
+# CI benchmark-smoke job runs).
+bench-alloc:
+	$(GO) run ./cmd/harp-bench -enforce -out BENCH_alloc.json
 
 # bench-parallel compares the sequential and fanned-out Fig. 6 runs; on a
 # multi-core host the parallel variant should be several times faster with

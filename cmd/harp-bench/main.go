@@ -1,0 +1,335 @@
+// Command harp-bench measures the allocator's solve regimes — cold
+// Lagrangian, greedy ablation, fingerprint-cache hit and warm-started — on
+// the production-scale 5-application Raptor Lake workload and writes the
+// results as JSON (see PERFORMANCE.md for the methodology).
+//
+// With -enforce it exits non-zero when a performance contract regresses:
+// the cache-hit path must stay at 0 allocs/op and at least 10× faster than a
+// cold solve, and warm starts must not cost λ iterations. CI runs this on
+// every push via `make bench`.
+//
+// Usage:
+//
+//	harp-bench -out BENCH_alloc.json
+//	harp-bench -enforce            # CI contract check, writes nothing extra
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+
+	"github.com/harp-rm/harp/internal/alloc"
+	"github.com/harp-rm/harp/internal/opoint"
+	"github.com/harp-rm/harp/internal/platform"
+	"github.com/harp-rm/harp/internal/workload"
+)
+
+// Regime is one measured solve regime.
+type Regime struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// LambdaIters is the subgradient iteration count of one representative
+	// solve in this regime (0 for greedy and cache hits).
+	LambdaIters int `json:"lambda_iters,omitempty"`
+}
+
+// Report is the BENCH_alloc.json schema.
+type Report struct {
+	GeneratedBy string `json:"generated_by"`
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	// Workload identifies the measured instance: full operating-point
+	// tables for five NAS applications on the Intel platform.
+	Platform    string `json:"platform"`
+	Apps        int    `json:"apps"`
+	TablePoints int    `json:"table_points"`
+
+	Regimes map[string]Regime `json:"regimes"`
+
+	// SpeedupColdOverHit is cold ns/op divided by cache-hit ns/op.
+	SpeedupColdOverHit float64 `json:"speedup_cold_over_hit"`
+	// SteadyStateHitRate is the cache hit rate over a simulated 200-epoch
+	// run whose inputs change every 10th epoch — the RM's steady state.
+	SteadyStateHitRate float64 `json:"steady_state_hit_rate"`
+	// WarmColdIters / WarmIters sum λ iterations over the same 50 perturbed
+	// epochs solved cold and warm-started; SavedPct is the reduction.
+	WarmColdIters int     `json:"warm_cold_iters"`
+	WarmIters     int     `json:"warm_iters"`
+	WarmSavedPct  float64 `json:"warm_saved_pct"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "harp-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("harp-bench", flag.ContinueOnError)
+	var (
+		outPath = fs.String("out", "", "write the JSON report to this file (default: stdout)")
+		enforce = fs.Bool("enforce", false, "exit non-zero when a performance contract regresses")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	plat, inputs := benchWorkload()
+	rep := &Report{
+		GeneratedBy: "harp-bench",
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		Platform:    plat.Name,
+		Apps:        len(inputs),
+		TablePoints: len(inputs[0].Table.Points),
+		Regimes:     make(map[string]Regime),
+	}
+
+	cold, err := measureCold(plat, inputs, alloc.Lagrangian)
+	if err != nil {
+		return err
+	}
+	rep.Regimes["cold_lagrangian"] = cold
+	greedy, err := measureCold(plat, inputs, alloc.Greedy)
+	if err != nil {
+		return err
+	}
+	rep.Regimes["greedy"] = greedy
+	hit, err := measureCacheHit(plat, inputs)
+	if err != nil {
+		return err
+	}
+	rep.Regimes["cache_hit"] = hit
+	warm, err := measureWarmStart(plat, inputs)
+	if err != nil {
+		return err
+	}
+	rep.Regimes["warm_start"] = warm
+
+	if hit.NsPerOp > 0 {
+		rep.SpeedupColdOverHit = cold.NsPerOp / hit.NsPerOp
+	}
+	if rep.SteadyStateHitRate, err = steadyStateHitRate(plat, inputs); err != nil {
+		return err
+	}
+	if rep.WarmColdIters, rep.WarmIters, err = warmIterSums(plat, inputs); err != nil {
+		return err
+	}
+	if rep.WarmColdIters > 0 {
+		rep.WarmSavedPct = 100 * (1 - float64(rep.WarmIters)/float64(rep.WarmColdIters))
+	}
+
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, raw, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "harp-bench: wrote %s\n", *outPath)
+	} else {
+		out.Write(raw)
+	}
+
+	if *enforce {
+		return checkContracts(rep)
+	}
+	return nil
+}
+
+// checkContracts enforces the performance acceptance criteria (the CI gate).
+func checkContracts(rep *Report) error {
+	var errs []string
+	if a := rep.Regimes["cache_hit"].AllocsPerOp; a != 0 {
+		errs = append(errs, fmt.Sprintf("cache-hit solve allocates %d times per op, contract is 0", a))
+	}
+	if rep.SpeedupColdOverHit < 10 {
+		errs = append(errs, fmt.Sprintf("cache-hit speedup %.1fx, contract is >= 10x", rep.SpeedupColdOverHit))
+	}
+	if rep.WarmIters > rep.WarmColdIters {
+		errs = append(errs, fmt.Sprintf("warm starts cost iterations: %d warm vs %d cold", rep.WarmIters, rep.WarmColdIters))
+	}
+	if len(errs) == 0 {
+		return nil
+	}
+	msg := "performance contract regressed:"
+	for _, e := range errs {
+		msg += "\n  - " + e
+	}
+	return fmt.Errorf("%s", msg)
+}
+
+// benchWorkload mirrors the internal/alloc benchmark fixture: five NAS
+// applications with full design-space tables on Raptor Lake.
+func benchWorkload() (*platform.Platform, []alloc.AppInput) {
+	plat := platform.RaptorLake()
+	names := []string{"ep.C", "mg.C", "cg.C", "ft.C", "sp.C"}
+	var inputs []alloc.AppInput
+	for _, name := range names {
+		prof, err := workload.ByName(workload.IntelApps(), name)
+		if err != nil {
+			panic(err)
+		}
+		tbl := &opoint.Table{App: name, Platform: plat.Name}
+		for _, rv := range platform.EnumerateVectors(plat, 0) {
+			ev := workload.EvaluateVector(plat, prof, rv)
+			tbl.Upsert(opoint.OperatingPoint{Vector: rv, Utility: ev.Utility, Power: ev.PowerWatts, Measured: true})
+		}
+		inputs = append(inputs, alloc.AppInput{ID: name, Table: tbl})
+	}
+	return plat, inputs
+}
+
+// perturb nudges one table point, flipping direction so the content cycles
+// between two variants — every solve is a guaranteed cache miss.
+func perturb(inputs []alloc.AppInput, up bool) {
+	pt := inputs[0].Table.Points[0]
+	if up {
+		pt.Utility *= 1.01
+	} else {
+		pt.Utility /= 1.01
+	}
+	inputs[0].Table.Upsert(pt)
+	inputs[0].Table.ParetoPoints() // rebuild the memo outside any timing
+}
+
+func measureCold(plat *platform.Platform, inputs []alloc.AppInput, m alloc.Method) (Regime, error) {
+	a, err := alloc.New(plat, alloc.WithMethod(m))
+	if err != nil {
+		return Regime{}, err
+	}
+	_, st, err := a.AllocateWithStats(inputs)
+	if err != nil {
+		return Regime{}, err
+	}
+	iters := st.LambdaIters
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := a.Allocate(inputs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return regimeOf(res, iters), nil
+}
+
+func measureCacheHit(plat *platform.Platform, inputs []alloc.AppInput) (Regime, error) {
+	a, err := alloc.New(plat, alloc.WithCache(alloc.DefaultCacheSize))
+	if err != nil {
+		return Regime{}, err
+	}
+	if _, _, err := a.AllocateWithStats(inputs); err != nil { // fill
+		return Regime{}, err
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, st, err := a.AllocateWithStats(inputs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if st.Source != alloc.SourceCached {
+				b.Fatalf("solve source = %q, want %q", st.Source, alloc.SourceCached)
+			}
+		}
+	})
+	return regimeOf(res, 0), nil
+}
+
+func measureWarmStart(plat *platform.Platform, inputs []alloc.AppInput) (Regime, error) {
+	a, err := alloc.New(plat, alloc.WithWarmStart(true))
+	if err != nil {
+		return Regime{}, err
+	}
+	if _, _, err := a.AllocateWithStats(inputs); err != nil { // establish λ
+		return Regime{}, err
+	}
+	var iters int
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			perturb(inputs, i%2 == 0)
+			b.StartTimer()
+			_, st, err := a.AllocateWithStats(inputs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if st.Source != alloc.SourceWarm {
+				b.Fatalf("solve source = %q, want %q", st.Source, alloc.SourceWarm)
+			}
+			iters = st.LambdaIters
+		}
+	})
+	return regimeOf(res, iters), nil
+}
+
+// steadyStateHitRate replays a 200-epoch cadence whose inputs change every
+// 10th epoch — the shape of an RM at steady state — and returns the cache
+// hit rate.
+func steadyStateHitRate(plat *platform.Platform, inputs []alloc.AppInput) (float64, error) {
+	a, err := alloc.New(plat, alloc.WithCache(alloc.DefaultCacheSize))
+	if err != nil {
+		return 0, err
+	}
+	for epoch := 0; epoch < 200; epoch++ {
+		if epoch%10 == 0 {
+			perturb(inputs, (epoch/10)%2 == 0)
+		}
+		if _, _, err := a.AllocateWithStats(inputs); err != nil {
+			return 0, err
+		}
+	}
+	return a.CacheStats().HitRate(), nil
+}
+
+// warmIterSums solves the same 50 perturbed epochs cold and warm-started and
+// returns the summed λ iteration counts.
+func warmIterSums(plat *platform.Platform, inputs []alloc.AppInput) (cold, warm int, err error) {
+	ca, err := alloc.New(plat)
+	if err != nil {
+		return 0, 0, err
+	}
+	wa, err := alloc.New(plat, alloc.WithWarmStart(true))
+	if err != nil {
+		return 0, 0, err
+	}
+	if _, _, err := wa.AllocateWithStats(inputs); err != nil { // establish λ
+		return 0, 0, err
+	}
+	for epoch := 0; epoch < 50; epoch++ {
+		perturb(inputs, epoch%2 == 0)
+		_, cst, err := ca.AllocateWithStats(inputs)
+		if err != nil {
+			return 0, 0, err
+		}
+		_, wst, err := wa.AllocateWithStats(inputs)
+		if err != nil {
+			return 0, 0, err
+		}
+		cold += cst.LambdaIters
+		warm += wst.LambdaIters
+	}
+	return cold, warm, nil
+}
+
+func regimeOf(res testing.BenchmarkResult, iters int) Regime {
+	return Regime{
+		NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+		LambdaIters: iters,
+	}
+}

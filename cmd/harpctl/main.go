@@ -138,6 +138,26 @@ func renderStatus(out io.Writer, resp map[string]json.RawMessage) error {
 	}
 	fmt.Fprintf(out, "rm generation %s, up %s\n",
 		gen, (time.Duration(uptimeSec*float64(time.Second))).Round(time.Second))
+	var cache struct {
+		Size      int     `json:"size"`
+		Cap       int     `json:"cap"`
+		Hits      uint64  `json:"hits"`
+		Misses    uint64  `json:"misses"`
+		Evictions uint64  `json:"evictions"`
+		HitRate   float64 `json:"hit_rate"`
+	}
+	var solveSource string
+	_ = json.Unmarshal(resp["alloc_cache"], &cache)
+	_ = json.Unmarshal(resp["solve_source"], &solveSource)
+	if solveSource == "" {
+		solveSource = "-" // no solve yet (or a pre-cache daemon)
+	}
+	if cache.Cap > 0 {
+		fmt.Fprintf(out, "alloc cache %d/%d, hit rate %.1f%% (%d hits, %d misses, %d evictions), last solve %s\n",
+			cache.Size, cache.Cap, 100*cache.HitRate, cache.Hits, cache.Misses, cache.Evictions, solveSource)
+	} else {
+		fmt.Fprintf(out, "alloc cache off, last solve %s\n", solveSource)
+	}
 	if len(sessions) == 0 {
 		fmt.Fprintln(out, "no sessions")
 		return nil

@@ -38,7 +38,13 @@ func fakeHarpd(t *testing.T) string {
 				enc := json.NewEncoder(conn)
 				switch req.Op {
 				case "sessions":
-					_ = enc.Encode(map[string]any{"generation": 3, "uptime_sec": 125.0, "sessions": []map[string]any{{
+					_ = enc.Encode(map[string]any{"generation": 3, "uptime_sec": 125.0,
+						"alloc_cache": map[string]any{
+							"size": 2, "cap": 64, "hits": 17, "misses": 3,
+							"evictions": 1, "hit_rate": 0.85,
+						},
+						"solve_source": "cached",
+						"sessions": []map[string]any{{
 						"Instance": "ep.C/1", "App": "ep.C", "Stage": "stable",
 						"Liveness": 0, "LastReportAgeSec": 0.2,
 						"Utility": 123.4, "Power": 37.5,
@@ -114,6 +120,7 @@ func TestStatusCommand(t *testing.T) {
 		"INSTANCE", "UTILITY", "LIVENESS", "AGE",
 		"ep.C/1", "stable", "123.4", "37.5", "P6", "0.2s",
 		"cg.C/2", "quarantined", "4.8s",
+		"alloc cache 2/64, hit rate 85.0% (17 hits, 3 misses, 1 evictions), last solve cached",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("status output missing %q:\n%s", want, out)

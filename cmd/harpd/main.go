@@ -10,6 +10,7 @@
 //	      [-suspect-after 1s -quarantine-after 3s -reap-after 10s] \
 //	      [-telemetry 127.0.0.1:9140] [-journal /var/log/harp/journal.jsonl] \
 //	      [-state-dir /var/lib/harp] [-max-sessions 64]
+//	      [-alloc-cache 64] [-alloc-warm-start=false]
 //
 // -liveness enables session health tracking (suspect → quarantine → reap,
 // see RESILIENCE.md); the three deadline flags tune it and imply -liveness on
@@ -78,6 +79,8 @@ func run(args []string) error {
 		traceBuffer   = fs.Int("trace-buffer", 0, "event ring capacity for harpctl trace (0 = default)")
 		stateDir      = fs.String("state-dir", "", "directory for durable RM state (snapshot + WAL); restarts resume learned tables (empty = off)")
 		maxSessions   = fs.Int("max-sessions", 0, "admission cap on concurrent sessions (0 = unlimited)")
+		allocCache    = fs.Int("alloc-cache", 0, "fingerprinted solution-cache capacity (0 = default, negative = off)")
+		allocWarm     = fs.Bool("alloc-warm-start", true, "seed each solve's subgradient iteration from the previous epoch's multipliers")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -117,6 +120,8 @@ func run(args []string) error {
 		Journal:            journal,
 		StateDir:           *stateDir,
 		MaxSessions:        *maxSessions,
+		AllocCacheSize:     *allocCache,
+		AllocWarmStart:     *allocWarm,
 	})
 	if err != nil {
 		return err
@@ -262,10 +267,20 @@ func (c *controlListener) handle(conn net.Conn) {
 	}
 	switch req.Op {
 	case "sessions":
+		cs := c.srv.AllocCacheStats()
 		_ = enc.Encode(map[string]any{
 			"sessions":   c.srv.Sessions(),
 			"generation": c.srv.Generation(),
 			"uptime_sec": c.srv.Uptime().Seconds(),
+			"alloc_cache": map[string]any{
+				"size":      cs.Size,
+				"cap":       cs.Cap,
+				"hits":      cs.Hits,
+				"misses":    cs.Misses,
+				"evictions": cs.Evictions,
+				"hit_rate":  cs.HitRate(),
+			},
+			"solve_source": c.srv.LastSolveSource(),
 		})
 	case "table":
 		tbl, err := c.srv.TableSnapshot(req.Instance)

@@ -114,6 +114,45 @@ func TestControlSessionsReflectsClients(t *testing.T) {
 	}
 }
 
+// TestControlSessionsReportsAllocCache checks the status surface of the
+// solution cache: the sessions response carries the cache counters (cap = the
+// default size) and, once a registration has triggered a solve, the last
+// epoch's solve source.
+func TestControlSessionsReportsAllocCache(t *testing.T) {
+	appSock, ctlSock := startDaemonPieces(t)
+
+	resp := controlRequest(t, ctlSock, map[string]string{"op": "sessions"})
+	var cache struct {
+		Cap int `json:"cap"`
+	}
+	if err := json.Unmarshal(resp["alloc_cache"], &cache); err != nil {
+		t.Fatalf("alloc_cache: %v (%s)", err, resp["alloc_cache"])
+	}
+	if cache.Cap != 64 {
+		t.Fatalf("alloc cache cap = %d, want the default 64", cache.Cap)
+	}
+
+	client, err := harp.Dial(appSock, harp.Registration{App: "z", PID: 7, Adaptivity: harp.Scalable})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		resp = controlRequest(t, ctlSock, map[string]string{"op": "sessions"})
+		var src string
+		_ = json.Unmarshal(resp["solve_source"], &src)
+		if src == "cold" || src == "warm" || src == "cached" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("solve_source = %q after a registration, want a solve source", src)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
 func TestControlTable(t *testing.T) {
 	appSock, ctlSock := startDaemonPieces(t)
 	client, err := harp.Dial(appSock, harp.Registration{App: "y", PID: 6, Adaptivity: harp.Scalable})

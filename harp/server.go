@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/harp-rm/harp/internal/alloc"
 	"github.com/harp-rm/harp/internal/core"
 	"github.com/harp-rm/harp/internal/explore"
 	"github.com/harp-rm/harp/internal/opoint"
@@ -91,6 +92,14 @@ type ServerConfig struct {
 	// MaxSessions caps concurrently registered sessions (0 = unlimited).
 	// Over-cap registrations are acked with core.ErrTooManySessions.
 	MaxSessions int
+	// AllocCacheSize sizes the allocator's fingerprinted solution cache:
+	// 0 selects the default capacity, negative disables caching. Ignored
+	// when Allocator is set.
+	AllocCacheSize int
+	// AllocWarmStart seeds each solve's subgradient iteration from the
+	// previous epoch's λ vector (fewer iterations on perturbed inputs; see
+	// PERFORMANCE.md). Ignored when Allocator is set.
+	AllocWarmStart bool
 }
 
 // LoadPlatform resolves a platform: a built-in name ("intel", "odroid", …)
@@ -206,6 +215,8 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		Journal:            cfg.Journal,
 		Metrics:            cfg.Metrics,
 		MaxSessions:        cfg.MaxSessions,
+		AllocCacheSize:     cfg.AllocCacheSize,
+		AllocWarmStart:     cfg.AllocWarmStart,
 		LatencyClock:       func() time.Duration { return time.Since(start) },
 	}
 	if st != nil {
@@ -386,6 +397,22 @@ func (s *Server) Generation() uint64 {
 // Uptime is the time since the server was created (for harpctl status).
 func (s *Server) Uptime() time.Duration {
 	return time.Since(s.start)
+}
+
+// AllocCacheStats reports the allocator's solution-cache accounting (zero
+// value when caching is disabled or a custom allocator is in use).
+func (s *Server) AllocCacheStats() alloc.CacheStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mgr.AllocCacheStats()
+}
+
+// LastSolveSource reports where the most recent epoch's allocation came
+// from: "cold", "warm" or "cached" (empty before the first solve).
+func (s *Server) LastSolveSource() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mgr.LastSolveSource()
 }
 
 // StoreRecovery reports how the state directory was recovered at startup.

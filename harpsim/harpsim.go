@@ -173,6 +173,13 @@ type Options struct {
 	// harpd after kill -9. Empty disables persistence; rm-crash then
 	// restarts the RM cold.
 	StateDir string
+	// AllocCacheSize sizes the RM's fingerprinted solution cache (0 =
+	// default, negative = off). The cache is decision-transparent: the same
+	// scenario and seed produce byte-identical journals with it on or off
+	// except for the lambda_iters/solve_source bookkeeping fields.
+	AllocCacheSize int
+	// AllocWarmStart seeds each solve from the previous epoch's λ vector.
+	AllocWarmStart bool
 }
 
 // TimelineEvent is one applied allocation decision.

@@ -193,6 +193,8 @@ func attachHARP(machine *sim.Machine, sc Scenario, opts Options) (*harpHarness, 
 		Tracer:             opts.Tracer,
 		Journal:            opts.Journal,
 		Metrics:            opts.Metrics,
+		AllocCacheSize:     opts.AllocCacheSize,
+		AllocWarmStart:     opts.AllocWarmStart,
 	}
 	// coreCfg stays Store-free as the restart template; cfg is the working
 	// copy with the live store attached (only when non-nil — a typed-nil

@@ -14,7 +14,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
+	"strings"
 
 	"github.com/harp-rm/harp/internal/opoint"
 	"github.com/harp-rm/harp/internal/platform"
@@ -80,11 +81,74 @@ type Allocation struct {
 }
 
 // Allocator solves the operating-point selection and core assignment.
+//
+// The Allocator is stateful — it owns a solution cache, the previous solve's
+// λ vector for warm starts and a reusable solver scratch arena — and is not
+// goroutine-safe; embedders (the Manager, benchmarks) serialise solves, as
+// they already do for the Manager itself.
 type Allocator struct {
-	plat   *platform.Platform
-	method Method
-	iters  int
-	tracer *telemetry.Tracer
+	plat    *platform.Platform
+	method  Method
+	iters   int
+	tracer  *telemetry.Tracer
+	metrics *telemetry.Metrics
+
+	// Solution cache (cache.go) and input fingerprinting (Fingerprint.go).
+	cacheSize int
+	cache     *solutionCache
+	fpBase    Fingerprint
+	tableMemo map[*opoint.Table]tableHashEntry
+
+	// Warm-start state (warmstart.go).
+	warm       bool
+	prevLambda []float64
+	havePrev   bool
+
+	scratch solverScratch
+}
+
+// solverScratch is the per-Allocator arena reused across solves so the
+// steady-state pipeline stays off the heap: capacity/λ/demand vectors, the
+// per-app states with their candidate and demand buffers, and the
+// representative arenas of the subgradient iteration. Nothing in here may
+// escape into a returned Allocation — assignCores always builds fresh output
+// slices precisely because cache entries retain them.
+type solverScratch struct {
+	capacity   []int
+	states     []*appState
+	usable     []opoint.OperatingPoint
+	lambda     []float64
+	lambdaPrev []float64
+	demand     []int
+	remaining  []int
+	reps       [][]lagRep
+	repBuf     []lagRep
+	fdBuf      []float64
+	seen       map[uint64]bool
+}
+
+// ensureStates returns n reusable per-app states.
+func (s *solverScratch) ensureStates(n int) []*appState {
+	for len(s.states) < n {
+		s.states = append(s.states, new(appState))
+	}
+	return s.states[:n]
+}
+
+// growInts returns buf resized to n, reallocating only when it must.
+func growInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+// growFloats is growInts for float64 slices.
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
 }
 
 // Option configures an Allocator.
@@ -110,6 +174,22 @@ func WithTracer(t *telemetry.Tracer) Option {
 	return optionFunc(func(a *Allocator) { a.tracer = t })
 }
 
+// WithCache enables the content-addressed solution cache with capacity n
+// (entries); n <= 0 disables caching, which is the default. DefaultCacheSize
+// is a sensible capacity for production managers. Cache hits return the
+// memoised []Allocation without copying — callers must treat it as
+// read-only.
+func WithCache(n int) Option {
+	return optionFunc(func(a *Allocator) { a.cacheSize = n })
+}
+
+// WithMetrics wires the allocator's cache counters and warm-start iteration
+// histogram (nil disables; the instruments are nil-safe but the bundle
+// pointer is checked here).
+func WithMetrics(m *telemetry.Metrics) Option {
+	return optionFunc(func(a *Allocator) { a.metrics = m })
+}
+
 // New creates an allocator for the platform.
 func New(plat *platform.Platform, opts ...Option) (*Allocator, error) {
 	if err := plat.Validate(); err != nil {
@@ -125,6 +205,10 @@ func New(plat *platform.Platform, opts ...Option) (*Allocator, error) {
 	if a.iters < 1 {
 		return nil, fmt.Errorf("alloc: iterations %d", a.iters)
 	}
+	if a.cacheSize > 0 {
+		a.cache = newSolutionCache(a.cacheSize)
+	}
+	a.fpBase = a.fingerprintBase()
 	return a, nil
 }
 
@@ -135,7 +219,9 @@ type candidate struct {
 	demand []int
 }
 
-// appState is the per-application solver view.
+// appState is the per-application solver view. States live in the solver
+// scratch and are reset per solve; demandBuf is the arena the candidates'
+// demand slices are carved from.
 type appState struct {
 	id     string
 	cands  []candidate
@@ -144,8 +230,19 @@ type appState struct {
 	// capacity and deferred the application to co-allocation; assignCores
 	// wraps exactly these states around the capacity. A wrap attempt by any
 	// other state is an internal accounting bug surfaced as *CapacityError.
-	coalloc bool
+	coalloc   bool
+	demandBuf []int
 }
+
+// Solve sources reported in Stats.Source and journaled per epoch.
+const (
+	// SourceCold is a full solve from a zero λ vector.
+	SourceCold = "cold"
+	// SourceWarm is a full solve seeded with the previous epoch's λ.
+	SourceWarm = "warm"
+	// SourceCached is a solution served from the fingerprint cache.
+	SourceCached = "cached"
+)
 
 // Stats summarises one solver run for the telemetry layer.
 type Stats struct {
@@ -153,11 +250,16 @@ type Stats struct {
 	Apps int
 	// Candidates is the total Pareto-filtered candidate count across apps.
 	Candidates int
-	// LambdaIters is the number of subgradient iterations performed (0 for
-	// the greedy solver).
+	// LambdaIters is the number of subgradient iterations actually performed
+	// before the λ fixpoint was reached (0 for the greedy solver and for
+	// cache hits) — the iterations-to-convergence measure warm starts are
+	// judged by.
 	LambdaIters int
 	// CoAllocated counts applications that ended up sharing cores.
 	CoAllocated int
+	// Source tells where the solution came from: SourceCold, SourceWarm or
+	// SourceCached.
+	Source string
 }
 
 // Allocate selects one operating point per application and assigns concrete
@@ -170,34 +272,69 @@ func (a *Allocator) Allocate(apps []AppInput) ([]Allocation, error) {
 
 // AllocateWithStats is Allocate plus solver statistics, and emits an
 // EvAllocationComputed event when the allocator has a tracer.
+//
+// With the solution cache enabled, a Fingerprint hit returns the memoised
+// []Allocation directly — zero heap allocations, Stats.Source = SourceCached
+// — and the returned slice is shared with the cache: callers must not mutate
+// it (the Manager clones what it pushes). Misses run the full pipeline and
+// memoise the result.
 func (a *Allocator) AllocateWithStats(apps []AppInput) ([]Allocation, Stats, error) {
 	var stats Stats
 	if len(apps) == 0 {
 		return nil, stats, nil
 	}
-	capacity := make([]int, len(a.plat.Kinds))
+
+	var fp Fingerprint
+	fpOK := false
+	if a.cache != nil {
+		fp, fpOK = a.fingerprintInputs(apps)
+		if fpOK {
+			if e := a.cache.get(fp); e != nil {
+				if a.metrics != nil {
+					a.metrics.AllocCacheHits.Inc()
+				}
+				stats = e.stats
+				stats.Source = SourceCached
+				stats.LambdaIters = 0
+				a.emitTrace(stats)
+				return e.allocs, stats, nil
+			}
+			if a.metrics != nil {
+				a.metrics.AllocCacheMisses.Inc()
+			}
+		}
+	}
+
+	s := &a.scratch
+	s.capacity = growInts(s.capacity, len(a.plat.Kinds))
+	capacity := s.capacity
 	for k, kind := range a.plat.Kinds {
 		capacity[k] = kind.Count
 	}
 
-	states := make([]*appState, len(apps))
+	states := s.ensureStates(len(apps))
 	for i, app := range apps {
 		if app.Table == nil {
 			return nil, stats, fmt.Errorf("alloc: app %q without operating-point table", app.ID)
 		}
-		st, err := a.buildState(app)
-		if err != nil {
+		if err := a.buildState(states[i], app); err != nil {
 			return nil, stats, err
 		}
-		states[i] = st
-		stats.Candidates += len(st.cands)
+		stats.Candidates += len(states[i].cands)
 	}
 	stats.Apps = len(apps)
+	stats.Source = SourceCold
 
 	switch a.method {
 	case Lagrangian:
-		a.lagrangianSelect(states, capacity)
-		stats.LambdaIters = a.iters
+		warm := a.warmLambda(len(capacity))
+		if warm != nil {
+			stats.Source = SourceWarm
+		}
+		stats.LambdaIters = a.lagrangianSelect(states, capacity, warm)
+		if stats.Source == SourceWarm && a.metrics != nil {
+			a.metrics.AllocWarmStartIters.Observe(float64(stats.LambdaIters))
+		}
 	case Greedy:
 		for i := range states {
 			states[i].chosen = -1
@@ -220,21 +357,37 @@ func (a *Allocator) AllocateWithStats(apps []AppInput) ([]Allocation, Stats, err
 			stats.CoAllocated++
 		}
 	}
-	if a.tracer.Enabled() {
-		a.tracer.Emit(telemetry.Event{
-			Kind: telemetry.EvAllocationComputed,
-			Seq:  stats.Apps,
-			Vals: [4]float64{
-				float64(stats.LambdaIters),
-				float64(stats.Candidates),
-				float64(stats.CoAllocated),
-			},
-		})
+	if fpOK {
+		evicted := a.cache.put(fp, out, stats)
+		if a.metrics != nil && evicted > 0 {
+			a.metrics.AllocCacheEvictions.Add(uint64(evicted))
+		}
 	}
+	a.emitTrace(stats)
 	return out, stats, nil
 }
 
-// buildState Pareto-filters the table and precomputes costs.
+// emitTrace emits the per-solve EvAllocationComputed event when tracing is
+// enabled. Cache hits emit too — the adaptation loop still decided an epoch —
+// with the cached stats and zero λ iterations.
+func (a *Allocator) emitTrace(stats Stats) {
+	if !a.tracer.Enabled() {
+		return
+	}
+	a.tracer.Emit(telemetry.Event{
+		Kind: telemetry.EvAllocationComputed,
+		Seq:  stats.Apps,
+		Vals: [4]float64{
+			float64(stats.LambdaIters),
+			float64(stats.Candidates),
+			float64(stats.CoAllocated),
+		},
+	})
+}
+
+// buildState Pareto-filters the table and precomputes costs into a reusable
+// per-app state. Candidate demand vectors are carved from the state's demand
+// arena; the arena never escapes into returned Allocations.
 //
 // Unusable points — zero vectors and points whose cost guard yields a
 // non-finite cost (e.g. a zero-power measurement) — are dropped BEFORE Pareto
@@ -245,15 +398,15 @@ func (a *Allocator) AllocateWithStats(apps []AppInput) ([]Allocation, Stats, err
 // by the differential oracle; see CORRECTNESS.md). Among usable points
 // domination is cost-monotone — higher utility and lower power both lower
 // cost = power/vhat² — so pre-filtering keeps the front lossless.
-func (a *Allocator) buildState(app AppInput) (*appState, error) {
+func (a *Allocator) buildState(st *appState, app AppInput) error {
 	if err := app.Table.Validate(a.plat); err != nil {
-		return nil, err
+		return err
 	}
 	vstar := app.MaxUtility
 	if vstar <= 0 {
 		vstar = app.Table.MaxUtility()
 	}
-	usable := make([]opoint.OperatingPoint, 0, len(app.Table.Points))
+	usable := a.scratch.usable[:0]
 	for _, op := range app.Table.Points {
 		if op.Vector.IsZero() {
 			continue
@@ -264,29 +417,52 @@ func (a *Allocator) buildState(app AppInput) (*appState, error) {
 		}
 		usable = append(usable, op)
 	}
+	a.scratch.usable = usable[:0]
 	var points []opoint.OperatingPoint
 	if len(usable) == len(app.Table.Points) {
 		points = app.Table.ParetoPoints() // memoised fast path, same front
 	} else {
 		points = opoint.Pareto(usable, opoint.RuntimeObjectives)
 	}
-	st := &appState{id: app.ID, chosen: -1}
-	for _, op := range points {
-		st.cands = append(st.cands, candidate{op: op, cost: op.Cost(vstar), demand: op.Vector.CoreDemand()})
+	st.id = app.ID
+	st.chosen = -1
+	st.coalloc = false
+	st.cands = st.cands[:0]
+	// Size the demand arena up front: carving then never reallocates, so the
+	// candidates' demand slices stay valid.
+	nk := len(a.plat.Kinds)
+	if need := max(len(points), 1) * nk; cap(st.demandBuf) < need {
+		st.demandBuf = make([]int, 0, need)
 	}
+	buf := st.demandBuf[:0]
+	for _, op := range points {
+		start := len(buf)
+		for kind := range op.Vector.Counts {
+			buf = append(buf, op.Vector.Cores(platform.KindID(kind)))
+		}
+		st.cands = append(st.cands, candidate{
+			op:     op,
+			cost:   op.Cost(vstar),
+			demand: buf[start:len(buf):len(buf)],
+		})
+	}
+	st.demandBuf = buf
 	if len(st.cands) == 0 {
 		// No usable characteristics yet (fresh application): fall back to a
 		// single core of the most efficient kind so the app can run and be
 		// explored.
 		st.cands = append(st.cands, a.fallbackCandidate())
 	}
-	sort.Slice(st.cands, func(i, j int) bool {
-		if st.cands[i].cost != st.cands[j].cost {
-			return st.cands[i].cost < st.cands[j].cost
+	slices.SortFunc(st.cands, func(x, y candidate) int {
+		if x.cost != y.cost {
+			if x.cost < y.cost {
+				return -1
+			}
+			return 1
 		}
-		return st.cands[i].op.Vector.Key() < st.cands[j].op.Vector.Key()
+		return strings.Compare(x.op.Vector.Key(), y.op.Vector.Key())
 	})
-	return st, nil
+	return nil
 }
 
 // fallbackCandidate is one core (one hardware thread) of the most efficient
@@ -302,9 +478,18 @@ func (a *Allocator) fallbackCandidate() candidate {
 	}
 }
 
+// lagRep is one representative candidate in the subgradient scan: its index
+// in the app's candidate list with cost and demand pre-converted to float64.
+type lagRep struct {
+	idx    int
+	cost   float64
+	demand []float64
+}
+
 // lagrangianSelect runs the subgradient iteration on the relaxed problem:
 // each application independently minimises cost + λ·demand, and λ rises on
-// over-demanded kinds.
+// over-demanded kinds. It returns the number of iterations actually
+// performed and retains the final λ for warm starts.
 //
 // Candidates sharing a core-demand vector see the same λ·demand penalty, so
 // within a demand group only the cheapest candidate — the first in cost
@@ -314,16 +499,41 @@ func (a *Allocator) fallbackCandidate() candidate {
 // order and the per-candidate arithmetic is unchanged, so the selected
 // indices, and with them the final allocation, are bit-identical to the full
 // scan.
-func (a *Allocator) lagrangianSelect(states []*appState, capacity []int) {
+//
+// warm, when non-nil, seeds λ₀ instead of zeros (see warmstart.go); the
+// arithmetic is otherwise unchanged, so a nil warm reproduces the cold solve
+// exactly.
+//
+// The iteration stops early at a λ fixpoint: if an update leaves every
+// component unchanged, every future iteration is identical — the choices
+// depend only on λ, and an unchanged λ means each kind had over == 0 (for
+// λ[k] > 0) or over ≤ 0 (for λ[k] == 0), conditions the shrinking step
+// schedule preserves. Exiting there is therefore bit-identical to running
+// the full budget, and it makes the returned count a real
+// iterations-to-convergence measure.
+func (a *Allocator) lagrangianSelect(states []*appState, capacity []int, warm []float64) int {
 	nk := len(capacity)
-	lambda := make([]float64, nk)
+	s := &a.scratch
+	s.lambda = growFloats(s.lambda, nk)
+	lambda := s.lambda
+	if warm != nil {
+		copy(lambda, warm)
+	} else {
+		for k := range lambda {
+			lambda[k] = 0
+		}
+	}
+	s.lambdaPrev = growFloats(s.lambdaPrev, nk)
+	prev := s.lambdaPrev
 
 	// Scale for the multiplier updates: typical cost per core.
 	var costSum, coreSum float64
+	totalCands := 0
 	for _, st := range states {
-		for _, c := range st.cands {
-			costSum += c.cost
-			for _, d := range c.demand {
+		totalCands += len(st.cands)
+		for i := range st.cands {
+			costSum += st.cands[i].cost
+			for _, d := range st.cands[i].demand {
 				coreSum += float64(d)
 			}
 		}
@@ -333,31 +543,49 @@ func (a *Allocator) lagrangianSelect(states []*appState, capacity []int) {
 		scale = costSum / coreSum
 	}
 
-	type rep struct {
-		idx    int // index into st.cands
-		cost   float64
-		demand []float64
+	// Representatives are carved from per-solve arenas whose capacity is
+	// ensured up front (total candidates bounds the representative count),
+	// so carving never reallocates and the slices stay valid.
+	if cap(s.repBuf) < totalCands {
+		s.repBuf = make([]lagRep, 0, totalCands)
 	}
-	reps := make([][]rep, len(states))
+	repBuf := s.repBuf[:0]
+	if cap(s.fdBuf) < totalCands*nk {
+		s.fdBuf = make([]float64, 0, totalCands*nk)
+	}
+	fdBuf := s.fdBuf[:0]
+	if cap(s.reps) < len(states) {
+		s.reps = make([][]lagRep, len(states))
+	}
+	reps := s.reps[:len(states)]
+	if s.seen == nil {
+		s.seen = make(map[uint64]bool)
+	}
 	for si, st := range states {
-		seen := make(map[uint64]bool, len(st.cands))
-		for i, c := range st.cands {
+		clear(s.seen)
+		start := len(repBuf)
+		for i := range st.cands {
+			c := &st.cands[i]
 			key, ok := demandKey(c.demand)
 			if ok {
-				if seen[key] {
+				if s.seen[key] {
 					continue
 				}
-				seen[key] = true
+				s.seen[key] = true
 			}
-			fd := make([]float64, len(c.demand))
-			for k, d := range c.demand {
-				fd[k] = float64(d)
+			fdStart := len(fdBuf)
+			for _, d := range c.demand {
+				fdBuf = append(fdBuf, float64(d))
 			}
-			reps[si] = append(reps[si], rep{idx: i, cost: c.cost, demand: fd})
+			repBuf = append(repBuf, lagRep{idx: i, cost: c.cost, demand: fdBuf[fdStart:len(fdBuf):len(fdBuf)]})
 		}
+		reps[si] = repBuf[start:len(repBuf):len(repBuf)]
 	}
+	s.repBuf, s.fdBuf = repBuf, fdBuf
 
-	demand := make([]int, nk)
+	s.demand = growInts(s.demand, nk)
+	demand := s.demand
+	iters := a.iters
 	for it := 0; it < a.iters; it++ {
 		for k := range demand {
 			demand[k] = 0
@@ -380,12 +608,30 @@ func (a *Allocator) lagrangianSelect(states []*appState, capacity []int) {
 				demand[k] += d
 			}
 		}
+		copy(prev, lambda)
 		step := scale * 2 / float64(it+2)
 		for k := range lambda {
 			over := float64(demand[k]-capacity[k]) / float64(capacity[k])
 			lambda[k] = math.Max(0, lambda[k]+step*over)
 		}
+		if floatsEqual(lambda, prev) {
+			iters = it + 1
+			break
+		}
 	}
+	a.rememberLambda(lambda)
+	return iters
+}
+
+// floatsEqual reports element-wise equality (bitwise, as the fixpoint test
+// requires — no tolerance).
+func floatsEqual(a, b []float64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // demandKey packs a per-kind core-demand vector into a dedup key; ok is
@@ -415,7 +661,8 @@ func demandKey(demand []int) (key uint64, ok bool) {
 // the cheapest fitting candidate; applications with no fitting candidate are
 // deferred to co-allocation (chosen stays, CoAllocated set later).
 func (a *Allocator) repair(states []*appState, capacity []int) {
-	remaining := make([]int, len(capacity))
+	a.scratch.remaining = growInts(a.scratch.remaining, len(capacity))
+	remaining := a.scratch.remaining
 	copy(remaining, capacity)
 	fits := func(demand []int) bool {
 		for k, d := range demand {
@@ -586,7 +833,8 @@ func (a *Allocator) rescue(states []*appState, capacity []int) {
 // only ever admits combinations that shrink or hold its demand — and the
 // strictly decreasing cost over a finite assignment space bounds the loop.
 func (a *Allocator) improve(states []*appState, capacity []int) {
-	remaining := make([]int, len(capacity))
+	a.scratch.remaining = growInts(a.scratch.remaining, len(capacity))
+	remaining := a.scratch.remaining
 	copy(remaining, capacity)
 	for _, st := range states {
 		if st.chosen < 0 {
@@ -707,6 +955,10 @@ func (e *CapacityError) Error() string {
 // a core. Pass two places the applications repair explicitly deferred to
 // co-allocation, wrapping round-robin from where the isolated cursor stopped
 // so genuinely free cores are shared first.
+//
+// assignCores deliberately builds fresh output slices on every call — never
+// scratch-arena memory — because the solution cache retains its result
+// beyond the solve.
 func (a *Allocator) assignCores(states []*appState) ([]Allocation, error) {
 	nextFree := make([]int, len(a.plat.Kinds))
 	out := make([]Allocation, len(states))

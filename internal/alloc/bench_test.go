@@ -11,15 +11,15 @@ import (
 // benchInputs builds a realistic 5-application allocation problem with full
 // 764-point tables — the allocator's production workload on the Intel
 // platform.
-func benchInputs(b *testing.B) (*platform.Platform, []AppInput) {
-	b.Helper()
+func benchInputs(tb testing.TB) (*platform.Platform, []AppInput) {
+	tb.Helper()
 	plat := platform.RaptorLake()
 	names := []string{"ep.C", "mg.C", "cg.C", "ft.C", "sp.C"}
 	var inputs []AppInput
 	for _, name := range names {
 		prof, err := workload.ByName(workload.IntelApps(), name)
 		if err != nil {
-			b.Fatal(err)
+			tb.Fatal(err)
 		}
 		tbl := &opoint.Table{App: name, Platform: plat.Name}
 		for _, rv := range platform.EnumerateVectors(plat, 0) {
@@ -29,6 +29,19 @@ func benchInputs(b *testing.B) (*platform.Platform, []AppInput) {
 		inputs = append(inputs, AppInput{ID: name, Table: tbl})
 	}
 	return plat, inputs
+}
+
+// benchPerturb nudges one point of the first table — the "next epoch" input
+// shape: same structure, slightly different numbers. Flipping between the two
+// variants keeps every solve a cache miss while staying warm-start friendly.
+func benchPerturb(inputs []AppInput, up bool) {
+	pt := inputs[0].Table.Points[0]
+	if up {
+		pt.Utility *= 1.01
+	} else {
+		pt.Utility /= 1.01
+	}
+	inputs[0].Table.Upsert(pt)
 }
 
 func benchmarkAllocate(b *testing.B, method Method) {
@@ -46,6 +59,90 @@ func benchmarkAllocate(b *testing.B, method Method) {
 	}
 }
 
+// BenchmarkAllocateLagrangian is the cold regime: every solve runs the full
+// subgradient iteration from λ=0 (no cache, no warm start).
 func BenchmarkAllocateLagrangian(b *testing.B) { benchmarkAllocate(b, Lagrangian) }
 
 func BenchmarkAllocateGreedy(b *testing.B) { benchmarkAllocate(b, Greedy) }
+
+// BenchmarkAllocateCacheHit is the steady-state regime: unchanged inputs
+// between epochs are served from the fingerprinted solution cache. The
+// contract is 0 allocs/op — enforced here and in TestCacheHitZeroAllocs.
+func BenchmarkAllocateCacheHit(b *testing.B) {
+	plat, inputs := benchInputs(b)
+	a, err := New(plat, WithCache(DefaultCacheSize))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := a.AllocateWithStats(inputs); err != nil { // fill
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, st, err := a.AllocateWithStats(inputs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Source != SourceCached {
+			b.Fatalf("solve source = %q, want %q", st.Source, SourceCached)
+		}
+	}
+}
+
+// BenchmarkAllocateWarmStart is the perturbed-epoch regime: each solve sees a
+// slightly changed input (a guaranteed cache miss) and seeds its λ vector
+// from the previous epoch's fixpoint.
+func BenchmarkAllocateWarmStart(b *testing.B) {
+	plat, inputs := benchInputs(b)
+	a, err := New(plat, WithWarmStart(true))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := a.AllocateWithStats(inputs); err != nil { // establish λ
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		benchPerturb(inputs, i%2 == 0)
+		// Rebuild the table's memoised Pareto front outside the timed
+		// region: the mutation invalidated it, and its recompute is table
+		// maintenance, not solve work.
+		inputs[0].Table.ParetoPoints()
+		b.StartTimer()
+		_, st, err := a.AllocateWithStats(inputs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Source != SourceWarm {
+			b.Fatalf("solve source = %q, want %q", st.Source, SourceWarm)
+		}
+	}
+}
+
+// TestBenchCacheHitZeroAllocsRegime pins the benchmark regime itself with
+// testing.AllocsPerRun on the full production-size input, so a regression
+// shows up in `go test` even when benchmarks are not run.
+func TestBenchCacheHitZeroAllocsRegime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size tables are slow to build in -short mode")
+	}
+	plat, inputs := benchInputs(t)
+	a, err := New(plat, WithCache(DefaultCacheSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.AllocateWithStats(inputs); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		if _, st, err := a.AllocateWithStats(inputs); err != nil || st.Source != SourceCached {
+			t.Fatalf("unexpected solve: source=%q err=%v", st.Source, err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("production-size cache-hit solve allocates %.1f times per run, want 0", avg)
+	}
+}

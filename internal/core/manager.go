@@ -138,6 +138,18 @@ type Config struct {
 	// MaxSessions caps concurrent registrations (0 = unlimited). Attempts
 	// beyond the cap fail with ErrTooManySessions.
 	MaxSessions int
+	// AllocCacheSize sizes the default allocator's fingerprinted solution
+	// cache: 0 selects alloc.DefaultCacheSize, negative disables caching.
+	// Ignored when Allocator is set — a custom allocator manages its own
+	// caching. The cache is content-addressed, so it is decision-transparent:
+	// register/deregister/phase-change/table mutations change the fingerprint
+	// and miss naturally (see PERFORMANCE.md).
+	AllocCacheSize int
+	// AllocWarmStart seeds the default allocator's subgradient iteration
+	// from the previous epoch's λ vector. Warm-started solves converge in
+	// fewer iterations but are not guaranteed bit-identical to cold solves,
+	// so this is opt-in. Ignored when Allocator is set.
+	AllocWarmStart bool
 }
 
 type session struct {
@@ -189,6 +201,11 @@ type Manager struct {
 	// epoch (only when a journal is configured), so an epoch's Outputs are
 	// exactly the EvDecisionPushed events it covers.
 	pendingOut []telemetry.EpochOutput
+
+	// lastSolveSource remembers where the most recent solve's solution came
+	// from ("cold", "warm" or "cached") for status surfaces; empty before
+	// the first solve.
+	lastSolveSource string
 }
 
 // NewManager creates a resource manager.
@@ -206,8 +223,17 @@ func NewManager(cfg Config) (*Manager, error) {
 	}
 	allocator := cfg.Allocator
 	if allocator == nil {
+		cacheSize := cfg.AllocCacheSize
+		if cacheSize == 0 {
+			cacheSize = alloc.DefaultCacheSize
+		}
 		var err error
-		allocator, err = alloc.New(cfg.Platform, alloc.WithTracer(cfg.Tracer))
+		allocator, err = alloc.New(cfg.Platform,
+			alloc.WithTracer(cfg.Tracer),
+			alloc.WithMetrics(cfg.Metrics),
+			alloc.WithCache(cacheSize),
+			alloc.WithWarmStart(cfg.AllocWarmStart),
+		)
 		if err != nil {
 			return nil, err
 		}
@@ -561,7 +587,7 @@ func (m *Manager) Measure(instance string, utility, power float64) error {
 // (exploration steps bypass reallocate); a no-op when nothing was pushed.
 func (m *Manager) flushMeasureEpoch() error {
 	if len(m.pendingOut) > 0 {
-		m.recordEpoch("exploration", 0)
+		m.recordEpoch("exploration", 0, "")
 	}
 	return nil
 }
@@ -627,6 +653,9 @@ func (m *Manager) reallocate(trigger string) error {
 	if len(inputs) > 0 {
 		var err error
 		allocs, stats, err = m.allocator.AllocateWithStats(inputs)
+		if stats.Source != "" {
+			m.lastSolveSource = stats.Source
+		}
 		if err != nil {
 			// A failed solve pushes nothing — every session keeps its standing
 			// decision — but the failure itself is journalled as an error
@@ -710,8 +739,22 @@ func (m *Manager) reallocate(trigger string) error {
 		mt.Reallocations.Inc()
 		mt.CoresGranted.Set(float64(m.grantedCores()))
 	}
-	m.recordEpoch(trigger, stats.LambdaIters)
+	m.recordEpoch(trigger, stats.LambdaIters, stats.Source)
 	return nil
+}
+
+// LastSolveSource reports where the most recent epoch's solution came from
+// (alloc.SourceCold, alloc.SourceWarm or alloc.SourceCached; empty before
+// the first solve).
+func (m *Manager) LastSolveSource() string { return m.lastSolveSource }
+
+// AllocCacheStats reports the allocator's solution-cache accounting, or the
+// zero value when the configured allocator has no cache.
+func (m *Manager) AllocCacheStats() alloc.CacheStats {
+	if c, ok := m.allocator.(interface{ CacheStats() alloc.CacheStats }); ok {
+		return c.CacheStats()
+	}
+	return alloc.CacheStats{}
 }
 
 // grantedCores counts the distinct physical cores held by spatially
@@ -730,19 +773,20 @@ func (m *Manager) grantedCores() int {
 }
 
 // recordEpoch writes one decision-journal record covering the decisions
-// accumulated in pendingOut since the previous epoch.
-func (m *Manager) recordEpoch(trigger string, lambdaIters int) {
-	m.recordEpochWith(trigger, lambdaIters, "")
+// accumulated in pendingOut since the previous epoch; source labels where
+// the epoch's solution came from (empty for epochs without a solve).
+func (m *Manager) recordEpoch(trigger string, lambdaIters int, source string) {
+	m.recordEpochWith(trigger, lambdaIters, source, "")
 }
 
 // recordEpochError journals a failed reallocation: an epoch with no outputs
 // and the allocator's error, so the journal explains why no decisions were
 // pushed for the trigger.
 func (m *Manager) recordEpochError(trigger string, allocErr error) {
-	m.recordEpochWith(trigger, 0, allocErr.Error())
+	m.recordEpochWith(trigger, 0, "", allocErr.Error())
 }
 
-func (m *Manager) recordEpochWith(trigger string, lambdaIters int, errMsg string) {
+func (m *Manager) recordEpochWith(trigger string, lambdaIters int, source, errMsg string) {
 	if !m.cfg.Journal.Enabled() {
 		return
 	}
@@ -750,6 +794,7 @@ func (m *Manager) recordEpochWith(trigger string, lambdaIters int, errMsg string
 		AtSec:       m.cfg.Tracer.Now().Seconds(),
 		Trigger:     trigger,
 		LambdaIters: lambdaIters,
+		SolveSource: source,
 		Error:       errMsg,
 		Inputs:      make([]telemetry.EpochInput, 0, len(m.order)),
 		Outputs:     m.pendingOut,

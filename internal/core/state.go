@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/harp-rm/harp/internal/alloc"
 	"github.com/harp-rm/harp/internal/store"
 	"github.com/harp-rm/harp/internal/telemetry"
 	"github.com/harp-rm/harp/internal/workload"
@@ -57,8 +58,24 @@ func (m *Manager) ExportState() *store.State {
 	sort.Slice(st.Sessions, func(i, j int) bool {
 		return st.Sessions[i].Instance < st.Sessions[j].Instance
 	})
+	if c, ok := m.allocator.(cacheExporter); ok {
+		st.AllocCache = c.ExportCache(exportCacheMax)
+	}
 	return st
 }
+
+// cacheExporter is the optional allocator capability ExportState/ImportState
+// use to persist the fingerprinted solution cache (*alloc.Allocator
+// implements it).
+type cacheExporter interface {
+	ExportCache(max int) []alloc.CachedSolution
+	SeedCache(entries []alloc.CachedSolution)
+}
+
+// exportCacheMax bounds how many cached solutions a snapshot carries. Warm
+// restart only needs the recent working set — typically the single standing
+// fingerprint — not the whole LRU history.
+const exportCacheMax = 16
 
 // ImportState replays recovered state into a fresh Manager: tables seed the
 // per-application explorers (restoring each app's exploration stage, which
@@ -117,7 +134,10 @@ func (m *Manager) ImportState(st *store.State, rec store.Recovery) error {
 	if rec.Err != nil {
 		errMsg = rec.Err.Error()
 	}
-	m.recordEpochWith("recover", 0, errMsg)
+	if c, ok := m.allocator.(cacheExporter); ok {
+		c.SeedCache(st.AllocCache)
+	}
+	m.recordEpochWith("recover", 0, "", errMsg)
 	return nil
 }
 
@@ -128,7 +148,7 @@ func (m *Manager) SnapshotTo(w SnapshotWriter) error {
 	if w == nil {
 		return errors.New("core: nil snapshot writer")
 	}
-	m.recordEpochWith("snapshot", 0, "")
+	m.recordEpochWith("snapshot", 0, "", "")
 	st := m.ExportState()
 	if err := w.WriteSnapshot(st); err != nil {
 		return fmt.Errorf("core: snapshot: %w", err)
@@ -181,6 +201,6 @@ func (m *Manager) rejectRegistration(instance, app, reason string) error {
 		mt.SessionsRejected.Inc()
 	}
 	err := fmt.Errorf("%w: %d sessions, cap %d", ErrTooManySessions, len(m.sessions), m.cfg.MaxSessions)
-	m.recordEpochWith("rejected", 0, err.Error())
+	m.recordEpochWith("rejected", 0, "", err.Error())
 	return err
 }

@@ -1,0 +1,68 @@
+package store
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/harp-rm/harp/internal/alloc"
+	"github.com/harp-rm/harp/internal/opoint"
+	"github.com/harp-rm/harp/internal/platform"
+)
+
+// TestAllocCacheSnapshotRoundTrip pins the durable form of the solution
+// cache: cached solutions survive EncodeSnapshot/DecodeSnapshot exactly —
+// fingerprint, allocations (with concrete core grants) and solve stats — so a
+// warm-restarted RM can serve its first epoch from the persisted cache.
+func TestAllocCacheSnapshotRoundTrip(t *testing.T) {
+	p := platform.RaptorLake()
+	rv := platform.NewResourceVector(p)
+	rv.Counts[0][0] = 2
+	st := NewState()
+	st.Generation = 3
+	st.AllocCache = []alloc.CachedSolution{{
+		Key: alloc.Fingerprint{Hi: 0x0123456789abcdef, Lo: 0xfedcba9876543210},
+		Allocations: []alloc.Allocation{{
+			ID:     "cg.C",
+			Point:  opoint.OperatingPoint{Vector: rv, Utility: 100, Power: 10, Measured: true},
+			Grants: []alloc.CoreGrant{{Core: 0, Threads: 1}, {Core: 1, Threads: 1}},
+		}},
+		Stats: alloc.Stats{Apps: 1, Candidates: 7, LambdaIters: 12, Source: alloc.SourceCold},
+	}}
+
+	raw, err := EncodeSnapshot(st)
+	if err != nil {
+		t.Fatalf("EncodeSnapshot: %v", err)
+	}
+	got, err := DecodeSnapshot(raw)
+	if err != nil {
+		t.Fatalf("DecodeSnapshot: %v", err)
+	}
+	if !reflect.DeepEqual(st.AllocCache, got.AllocCache) {
+		t.Fatalf("cache round trip diverged:\nwant %+v\ngot  %+v", st.AllocCache, got.AllocCache)
+	}
+
+	// Clone shares entries (immutable by contract) but not the slice header.
+	cl := got.Clone()
+	if !reflect.DeepEqual(cl.AllocCache, got.AllocCache) {
+		t.Fatal("Clone lost the cache")
+	}
+	cl.AllocCache = append(cl.AllocCache[:0:0], cl.AllocCache...)
+	cl.AllocCache[0].Stats.Apps = 99
+	if got.AllocCache[0].Stats.Apps != 1 {
+		t.Fatal("mutating a cloned copy reached the original")
+	}
+
+	// An empty cache stays omitted: old snapshots decode with a nil slice.
+	st.AllocCache = nil
+	raw2, err := EncodeSnapshot(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := DecodeSnapshot(raw2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.AllocCache != nil {
+		t.Fatalf("empty cache decoded as %+v", got2.AllocCache)
+	}
+}

@@ -14,6 +14,7 @@
 package store
 
 import (
+	"github.com/harp-rm/harp/internal/alloc"
 	"github.com/harp-rm/harp/internal/opoint"
 )
 
@@ -68,6 +69,13 @@ type State struct {
 	Seq        int                      `json:"seq"`
 	Tables     map[string]*opoint.Table `json:"tables,omitempty"`
 	Sessions   []SessionState           `json:"sessions,omitempty"`
+	// AllocCache holds the allocator's fingerprinted solution cache in
+	// most-recently-used order, snapshot-only (no WAL records: losing cache
+	// entries in a crash costs one cold solve, not learned state). Entries
+	// are content-addressed — the fingerprint covers platform, solver
+	// configuration and full table contents — so a stale entry after a
+	// config change is unreachable rather than wrong.
+	AllocCache []alloc.CachedSolution `json:"allocCache,omitempty"`
 }
 
 // NewState returns an empty cold-start state.
@@ -159,12 +167,15 @@ func (s *State) mergeTable(app string, up *opoint.Table) {
 }
 
 // Clone returns a deep copy (tables included), safe to hand to a Manager.
+// Cached solutions are copied at the slice level only: entries are immutable
+// by contract (the allocator returns them read-only).
 func (s *State) Clone() *State {
 	out := &State{
 		Generation: s.Generation,
 		WALSeq:     s.WALSeq,
 		Seq:        s.Seq,
 		Sessions:   append([]SessionState(nil), s.Sessions...),
+		AllocCache: append([]alloc.CachedSolution(nil), s.AllocCache...),
 		Tables:     make(map[string]*opoint.Table, len(s.Tables)),
 	}
 	for app, t := range s.Tables {

@@ -47,9 +47,15 @@ type EpochRecord struct {
 	// "deregister", "reap", "quarantine", "readmit", "phase-change",
 	// "cadence", "graduation", "exploration" or "manual".
 	Trigger string `json:"trigger"`
-	// LambdaIters is the allocator's subgradient iteration count (0 when
-	// the epoch pushed only exploration probes).
+	// LambdaIters is the allocator's subgradient iteration count — the
+	// iterations to the λ fixpoint, 0 when the epoch pushed only exploration
+	// probes or was served from the solution cache.
 	LambdaIters int `json:"lambda_iters,omitempty"`
+	// SolveSource tells where the epoch's solution came from: "cold" (full
+	// solve from zero λ), "warm" (solve seeded with the previous λ) or
+	// "cached" (served from the fingerprinted solution cache). Empty for
+	// epochs without a solve.
+	SolveSource string `json:"solve_source,omitempty"`
 	// PowerBudgetW is the predicted system power of the epoch's standing
 	// allocation — the sum of the per-app slices in Outputs plus unchanged
 	// allocations.

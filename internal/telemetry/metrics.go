@@ -337,6 +337,10 @@ var (
 	LatencyBuckets = []float64{1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1}
 	// JitterBuckets suit deviations from the 50 ms measure cadence.
 	JitterBuckets = []float64{1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 2.5e-2, 5e-2}
+	// IterationBuckets suit subgradient iteration counts (default budget 60):
+	// warm-started solves should land in the low buckets, cold solves near
+	// the budget.
+	IterationBuckets = []float64{1, 2, 4, 8, 16, 32, 64}
 )
 
 // Metrics bundles the adaptation-loop instruments the resource manager and
@@ -401,6 +405,18 @@ type Metrics struct {
 	// StoreCorruptions counts corruption events detected by the store
 	// (torn WAL tails truncated, quarantined snapshots/WALs).
 	StoreCorruptions *Counter
+
+	// AllocCacheHits counts allocator solves served from the fingerprinted
+	// solution cache; AllocCacheMisses counts solves that fell through to
+	// the full pipeline; AllocCacheEvictions counts cached solutions dropped
+	// at capacity.
+	AllocCacheHits      *Counter
+	AllocCacheMisses    *Counter
+	AllocCacheEvictions *Counter
+	// AllocWarmStartIters observes the subgradient iterations-to-convergence
+	// of warm-started solves (cold solves are visible through the journal's
+	// lambda_iters instead).
+	AllocWarmStartIters *Histogram
 }
 
 // NewMetrics creates the standard instrument bundle on the registry.
@@ -434,5 +450,10 @@ func NewMetrics(r *Registry) *Metrics {
 		StoreWALRecords:    r.Counter("harp_store_wal_records_total", "Records appended to the durable-state write-ahead log."),
 		StoreReplaySeconds: r.Gauge("harp_store_replay_seconds", "Duration of the last durable-state recovery replay."),
 		StoreCorruptions:   r.Counter("harp_store_corruptions_total", "Corruption events detected in the durable-state store."),
+
+		AllocCacheHits:      r.Counter("harp_alloc_cache_hits_total", "Allocator solves served from the fingerprinted solution cache."),
+		AllocCacheMisses:    r.Counter("harp_alloc_cache_misses_total", "Allocator solves that missed the solution cache."),
+		AllocCacheEvictions: r.Counter("harp_alloc_cache_evictions_total", "Cached allocator solutions evicted at capacity."),
+		AllocWarmStartIters: r.Histogram("harp_alloc_warm_start_iters", "Subgradient iterations to convergence for warm-started solves.", IterationBuckets),
 	}
 }
