@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race bench bench-alloc bench-parallel trace-demo fuzz-smoke invariants invariants-long
+.PHONY: build test check race bench bench-alloc bench-parallel trace-demo fuzz-smoke invariants invariants-long lint-metrics
 
 build:
 	$(GO) build ./...
@@ -9,12 +9,18 @@ test:
 	$(GO) test ./...
 
 # check is the pre-PR gate (run it before every pull request; CI runs the
-# same thing): vet plus the full test suite under the race detector. The race
-# run covers the internal/parallel worker pool, the session-resilience chaos
-# suites and every experiment driver fanning units across it.
-check:
+# same thing): vet, the metrics-docs cross-check, plus the full test suite
+# under the race detector. The race run covers the internal/parallel worker
+# pool, the session-resilience chaos suites and every experiment driver
+# fanning units across it.
+check: lint-metrics
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# lint-metrics cross-checks the harp_* metrics registered in code against
+# the table in OBSERVABILITY.md, both directions. See OBSERVABILITY.md.
+lint-metrics:
+	./scripts/lint-metrics.sh
 
 race:
 	$(GO) test -race ./...

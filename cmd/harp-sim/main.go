@@ -129,6 +129,11 @@ func runScenario(args []string, out io.Writer) error {
 		journalOut = f
 		defer f.Close()
 		opts.Journal = telemetry.NewJournal(f)
+		if policy.IsHARP() {
+			// Journalled HARP runs carry the energy ledger so each epoch
+			// records energy_j / budget_headroom_w (see OBSERVABILITY.md).
+			opts.Energy = telemetry.NewEnergyLedger()
+		}
 	}
 	res, err := harpsim.Run(sc, opts)
 	if err != nil {

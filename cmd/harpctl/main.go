@@ -7,9 +7,16 @@
 //
 //	harpctl [-control /tmp/harpctl.sock] sessions
 //	harpctl [-control /tmp/harpctl.sock] status
+//	harpctl [-control /tmp/harpctl.sock] health
+//	harpctl [-control /tmp/harpctl.sock] top [-interval 2s] [-n 0]
 //	harpctl [-control /tmp/harpctl.sock] table <instance>
 //	harpctl [-control /tmp/harpctl.sock] trace tail [n]
 //	harpctl [-control /tmp/harpctl.sock] trace dump
+//
+// `health` prints the daemon's self-assessment (the same report harpd
+// serves at /healthz) and exits non-zero when the daemon is unhealthy.
+// `top` refreshes a per-session energy/efficiency view every -interval
+// (-n bounds the number of frames; 0 runs until interrupted).
 package main
 
 import (
@@ -24,7 +31,7 @@ import (
 	"time"
 )
 
-const usage = "usage: harpctl [-control PATH] sessions | status | table <instance> | trace tail [n] | trace dump"
+const usage = "usage: harpctl [-control PATH] sessions | status | health | top [-interval D] [-n N] | table <instance> | trace tail [n] | trace dump"
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -51,6 +58,10 @@ func run(args []string, out io.Writer) error {
 	case "status":
 		req["op"] = "sessions"
 		render = renderStatus
+	case "health":
+		render = renderHealth
+	case "top":
+		return runTop(*controlPath, rest[1:], out)
 	case "table":
 		if len(rest) != 2 {
 			return errors.New("usage: harpctl table <instance>")
@@ -81,22 +92,32 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown command %q", rest[0])
 	}
 
-	conn, err := net.Dial("unix", *controlPath)
+	resp, err := query(*controlPath, req)
 	if err != nil {
-		return fmt.Errorf("connect to harpd: %w", err)
+		return err
+	}
+	return render(out, resp)
+}
+
+// query performs one request/response exchange with the harpd control
+// socket.
+func query(controlPath string, req map[string]any) (map[string]json.RawMessage, error) {
+	conn, err := net.Dial("unix", controlPath)
+	if err != nil {
+		return nil, fmt.Errorf("connect to harpd: %w", err)
 	}
 	defer conn.Close()
 	if err := json.NewEncoder(conn).Encode(req); err != nil {
-		return err
+		return nil, err
 	}
 	var resp map[string]json.RawMessage
 	if err := json.NewDecoder(conn).Decode(&resp); err != nil {
-		return err
+		return nil, err
 	}
 	if errMsg, ok := resp["error"]; ok {
-		return fmt.Errorf("harpd: %s", errMsg)
+		return nil, fmt.Errorf("harpd: %s", errMsg)
 	}
-	return render(out, resp)
+	return resp, nil
 }
 
 func renderJSON(out io.Writer, resp map[string]json.RawMessage) error {
@@ -137,7 +158,7 @@ func renderStatus(out io.Writer, resp map[string]json.RawMessage) error {
 		gen = strconv.FormatUint(generation, 10)
 	}
 	fmt.Fprintf(out, "rm generation %s, up %s\n",
-		gen, (time.Duration(uptimeSec*float64(time.Second))).Round(time.Second))
+		gen, (time.Duration(uptimeSec * float64(time.Second))).Round(time.Second))
 	var cache struct {
 		Size      int     `json:"size"`
 		Cap       int     `json:"cap"`
@@ -157,6 +178,18 @@ func renderStatus(out io.Writer, resp map[string]json.RawMessage) error {
 			cache.Size, cache.Cap, 100*cache.HitRate, cache.Hits, cache.Misses, cache.Evictions, solveSource)
 	} else {
 		fmt.Fprintf(out, "alloc cache off, last solve %s\n", solveSource)
+	}
+	// Telemetry health: the first sticky journal error and the tracer's
+	// eviction count — both zero on a healthy daemon.
+	var journalErr string
+	var dropped uint64
+	_ = json.Unmarshal(resp["journal_error"], &journalErr)
+	_ = json.Unmarshal(resp["tracer_dropped"], &dropped)
+	if journalErr != "" {
+		fmt.Fprintf(out, "journal ERROR: %s\n", journalErr)
+	}
+	if dropped > 0 {
+		fmt.Fprintf(out, "tracer dropped %d events\n", dropped)
 	}
 	if len(sessions) == 0 {
 		fmt.Fprintln(out, "no sessions")
@@ -241,4 +274,149 @@ func renderTrace(out io.Writer, resp map[string]json.RawMessage) error {
 	fmt.Fprintf(out, "%d events shown (%d emitted, %d evicted from the ring)\n",
 		len(events), total, dropped)
 	return nil
+}
+
+// healthReport mirrors harp.HealthReport over the control socket.
+type healthReport struct {
+	Status string `json:"status"`
+	Checks []struct {
+		Name   string `json:"name"`
+		Status string `json:"status"`
+		Detail string `json:"detail"`
+	} `json:"checks"`
+}
+
+// renderHealth prints the daemon's self-assessment one check per line and
+// fails the command (exit 1) when the overall status is unhealthy, so
+// scripts can gate on it.
+func renderHealth(out io.Writer, resp map[string]json.RawMessage) error {
+	var rep healthReport
+	if err := json.Unmarshal(resp["health"], &rep); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "status: %s\n", rep.Status)
+	for _, c := range rep.Checks {
+		line := fmt.Sprintf("  %-15s %s", c.Name, c.Status)
+		if c.Detail != "" {
+			line += "  (" + c.Detail + ")"
+		}
+		fmt.Fprintln(out, line)
+	}
+	if rep.Status == "unhealthy" {
+		return errors.New("daemon is unhealthy")
+	}
+	return nil
+}
+
+// runTop implements `harpctl top`: a refreshing per-session
+// energy/efficiency view over the control socket. -n bounds the number of
+// frames (0 = until interrupted); frames after the first clear the screen.
+func runTop(controlPath string, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("harpctl top", flag.ContinueOnError)
+	interval := fs.Duration("interval", 2*time.Second, "refresh interval")
+	frames := fs.Int("n", 0, "number of frames to render (0 = until interrupted)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *interval <= 0 {
+		return fmt.Errorf("top: bad interval %s", *interval)
+	}
+	for i := 0; ; i++ {
+		resp, err := query(controlPath, map[string]any{"op": "sessions"})
+		if err != nil {
+			return err
+		}
+		if i > 0 {
+			fmt.Fprint(out, "\x1b[2J\x1b[H") // clear screen, home cursor
+		}
+		if err := renderTop(out, resp); err != nil {
+			return err
+		}
+		if *frames > 0 && i+1 >= *frames {
+			return nil
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// renderTop prints one top frame: a fleet header (uptime, budget headroom,
+// epoch latency, cache hit rate, telemetry health) and a per-session table
+// joining the session summaries with their energy rows.
+func renderTop(out io.Writer, resp map[string]json.RawMessage) error {
+	var sessions []struct {
+		Instance string
+		App      string
+		Liveness int
+		Utility  float64
+		Power    float64
+		Cores    int
+	}
+	if err := json.Unmarshal(resp["sessions"], &sessions); err != nil {
+		return err
+	}
+	var energy struct {
+		FleetJoules      float64 `json:"fleet_joules"`
+		FleetUtilitySec  float64 `json:"fleet_utility_sec"`
+		FleetPowerW      float64 `json:"fleet_power_w"`
+		BudgetW          float64 `json:"budget_w"`
+		BudgetHeadroomW  float64 `json:"budget_headroom_w"`
+		BudgetOverrunSec float64 `json:"budget_overrun_sec"`
+		Sessions         []struct {
+			Instance   string  `json:"instance"`
+			Joules     float64 `json:"joules"`
+			UtilitySec float64 `json:"utility_sec"`
+			PowerW     float64 `json:"power_w"`
+			Efficiency float64 `json:"efficiency"`
+		} `json:"sessions"`
+	}
+	_ = json.Unmarshal(resp["energy"], &energy)
+	var uptimeSec, epochP99 float64
+	var solveSource, journalErr string
+	var dropped uint64
+	_ = json.Unmarshal(resp["uptime_sec"], &uptimeSec)
+	_ = json.Unmarshal(resp["epoch_p99_sec"], &epochP99)
+	_ = json.Unmarshal(resp["solve_source"], &solveSource)
+	_ = json.Unmarshal(resp["journal_error"], &journalErr)
+	_ = json.Unmarshal(resp["tracer_dropped"], &dropped)
+	var cache struct {
+		HitRate float64 `json:"hit_rate"`
+	}
+	_ = json.Unmarshal(resp["alloc_cache"], &cache)
+
+	fmt.Fprintf(out, "harp top — up %s, %d sessions\n",
+		(time.Duration(uptimeSec * float64(time.Second))).Round(time.Second), len(sessions))
+	fmt.Fprintf(out, "power %.1fW / budget %.1fW (headroom %.1fW, overrun %.1fs)  fleet %.1fJ\n",
+		energy.FleetPowerW, energy.BudgetW, energy.BudgetHeadroomW, energy.BudgetOverrunSec, energy.FleetJoules)
+	fmt.Fprintf(out, "epoch p99 %.2fms, cache hit rate %.1f%%, last solve %s, tracer dropped %d\n",
+		epochP99*1e3, 100*cache.HitRate, orDash(solveSource), dropped)
+	if journalErr != "" {
+		fmt.Fprintf(out, "journal ERROR: %s\n", journalErr)
+	}
+	if len(sessions) == 0 {
+		fmt.Fprintln(out, "no sessions")
+		return nil
+	}
+	byInstance := map[string]int{}
+	for i, se := range energy.Sessions {
+		byInstance[se.Instance] = i
+	}
+	fmt.Fprintf(out, "%-22s %-14s %10s %9s %10s %10s %5s %-11s\n",
+		"INSTANCE", "APP", "UTILITY", "POWER[W]", "ENERGY[J]", "EFF[u/J]", "CORES", "LIVENESS")
+	for _, s := range sessions {
+		joules, eff := 0.0, 0.0
+		if i, ok := byInstance[s.Instance]; ok {
+			joules, eff = energy.Sessions[i].Joules, energy.Sessions[i].Efficiency
+		}
+		fmt.Fprintf(out, "%-22s %-14s %10.1f %9.1f %10.1f %10.3f %5d %-11s\n",
+			s.Instance, s.App, s.Utility, s.Power, joules, eff, s.Cores, livenessName(s.Liveness))
+	}
+	return nil
+}
+
+// orDash substitutes "-" for an empty string in rendered fields.
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
 }

@@ -43,18 +43,30 @@ func fakeHarpd(t *testing.T) string {
 							"size": 2, "cap": 64, "hits": 17, "misses": 3,
 							"evictions": 1, "hit_rate": 0.85,
 						},
-						"solve_source": "cached",
+						"solve_source":   "cached",
+						"tracer_dropped": 7,
+						"journal_error":  "disk full",
+						"epoch_p99_sec":  0.0021,
+						"energy": map[string]any{
+							"fleet_joules": 120.5, "fleet_utility_sec": 900.0,
+							"fleet_power_w": 37.5, "budget_w": 60.0,
+							"budget_headroom_w": 22.5, "budget_overrun_sec": 0.0,
+							"sessions": []map[string]any{{
+								"instance": "ep.C/1", "joules": 120.5, "utility_sec": 900.0,
+								"power_w": 37.5, "efficiency": 7.469,
+							}},
+						},
 						"sessions": []map[string]any{{
-						"Instance": "ep.C/1", "App": "ep.C", "Stage": "stable",
-						"Liveness": 0, "LastReportAgeSec": 0.2,
-						"Utility": 123.4, "Power": 37.5,
-						"Vector": "P6", "Threads": 6, "Cores": 3,
-					}, {
-						"Instance": "cg.C/2", "App": "cg.C", "Stage": "stable",
-						"Liveness": 2, "LastReportAgeSec": 4.8,
-						"Utility": 0.0, "Power": 0.0,
-						"Vector": "", "Threads": 0, "Cores": 0,
-					}}})
+							"Instance": "ep.C/1", "App": "ep.C", "Stage": "stable",
+							"Liveness": 0, "LastReportAgeSec": 0.2,
+							"Utility": 123.4, "Power": 37.5,
+							"Vector": "P6", "Threads": 6, "Cores": 3,
+						}, {
+							"Instance": "cg.C/2", "App": "cg.C", "Stage": "stable",
+							"Liveness": 2, "LastReportAgeSec": 4.8,
+							"Utility": 0.0, "Power": 0.0,
+							"Vector": "", "Threads": 0, "Cores": 0,
+						}}})
 				case "trace":
 					_ = enc.Encode(map[string]any{
 						"events": []map[string]any{{
@@ -69,6 +81,14 @@ func fakeHarpd(t *testing.T) string {
 						return
 					}
 					_ = enc.Encode(map[string]any{"table": map[string]any{"app": req.Instance}})
+				case "health":
+					_ = enc.Encode(map[string]any{"health": map[string]any{
+						"status": "degraded",
+						"checks": []map[string]any{
+							{"name": "measure-jitter", "status": "ok", "detail": "p99 0.4ms"},
+							{"name": "tracer", "status": "degraded", "detail": "7 events evicted from the ring"},
+						},
+					}})
 				default:
 					_ = enc.Encode(map[string]string{"error": "unknown op"})
 				}
@@ -125,6 +145,99 @@ func TestStatusCommand(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("status output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestStatusShowsTelemetryHealth pins the sticky journal error and the
+// tracer eviction count onto the status output.
+func TestStatusShowsTelemetryHealth(t *testing.T) {
+	sock := fakeHarpd(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-control", sock, "status"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"journal ERROR: disk full", "tracer dropped 7 events"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("status output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHealthCommand(t *testing.T) {
+	sock := fakeHarpd(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-control", sock, "health"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"status: degraded",
+		"measure-jitter  ok",
+		"tracer          degraded  (7 events evicted from the ring)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("health output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestHealthUnhealthyFailsCommand: an unhealthy report makes the command
+// itself fail, so scripts can gate on the exit code.
+func TestHealthUnhealthyFailsCommand(t *testing.T) {
+	var buf bytes.Buffer
+	raw, _ := json.Marshal(map[string]any{"status": "unhealthy", "checks": []map[string]any{}})
+	err := renderHealth(&buf, map[string]json.RawMessage{"health": raw})
+	if err == nil {
+		t.Fatal("unhealthy report did not fail the command")
+	}
+	if !strings.Contains(buf.String(), "status: unhealthy") {
+		t.Errorf("report not printed before failing:\n%s", buf.String())
+	}
+}
+
+func TestTopCommand(t *testing.T) {
+	sock := fakeHarpd(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-control", sock, "top", "-n", "1", "-interval", "10ms"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"harp top — up 2m5s, 2 sessions",
+		"power 37.5W / budget 60.0W (headroom 22.5W, overrun 0.0s)  fleet 120.5J",
+		"epoch p99 2.10ms, cache hit rate 85.0%, last solve cached, tracer dropped 7",
+		"journal ERROR: disk full",
+		"ENERGY[J]", "EFF[u/J]",
+		"ep.C/1", "120.5", "7.469",
+		"cg.C/2", "quarantined",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("top output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "\x1b[2J") {
+		t.Error("single-frame top cleared the screen")
+	}
+}
+
+// TestTopRefreshClearsScreen: a second frame starts with the ANSI
+// clear+home sequence so the view refreshes in place.
+func TestTopRefreshClearsScreen(t *testing.T) {
+	sock := fakeHarpd(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-control", sock, "top", "-n", "2", "-interval", "1ms"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\x1b[2J\x1b[H") {
+		t.Error("second top frame did not clear the screen")
+	}
+}
+
+func TestTopFlagValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"top", "-interval", "0s", "-n", "1"}, &buf); err == nil {
+		t.Error("top accepted a non-positive interval")
 	}
 }
 

@@ -127,6 +127,19 @@ func daemonState(t *testing.T, ctlSock string) (sessions []sessionView, generati
 	return sessions, generation
 }
 
+// daemonEnergy reads the fleet joule accumulator off the sessions op.
+func daemonEnergy(t *testing.T, ctlSock string) float64 {
+	t.Helper()
+	resp := controlRequest(t, ctlSock, map[string]string{"op": "sessions"})
+	var e struct {
+		FleetJoules float64 `json:"fleet_joules"`
+	}
+	if err := json.Unmarshal(resp["energy"], &e); err != nil {
+		t.Fatalf("energy: %v (%s)", err, resp["energy"])
+	}
+	return e.FleetJoules
+}
+
 // waitForDaemonSession polls the control socket until the instance satisfies
 // ok.
 func waitForDaemonSession(t *testing.T, ctlSock, instance string, ok func(sessionView) bool) sessionView {
@@ -212,6 +225,7 @@ func TestHarpdKill9WarmRestart(t *testing.T) {
 	if _, gen := daemonState(t, ctlSock); gen != 1 {
 		t.Fatalf("generation = %d, want 1", gen)
 	}
+	energyBefore := daemonEnergy(t, ctlSock)
 
 	// The crash: no exit message, no final snapshot — recovery must come
 	// from the boot checkpoint and the WAL alone.
@@ -235,6 +249,11 @@ func TestHarpdKill9WarmRestart(t *testing.T) {
 	}
 	if _, gen := daemonState(t, ctlSock); gen != 2 {
 		t.Fatalf("generation after kill -9 restart = %d, want 2", gen)
+	}
+	// The joule account is monotone across the crash: the recovered ledger
+	// resumes from the journalled accumulators, never from zero below them.
+	if energyAfter := daemonEnergy(t, ctlSock); energyAfter < energyBefore {
+		t.Fatalf("fleet joules shrank across kill -9: %.6f -> %.6f", energyBefore, energyAfter)
 	}
 
 	// Graceful end: SIGTERM must leave a final snapshot and a rotated WAL.

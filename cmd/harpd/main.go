@@ -94,6 +94,7 @@ func run(args []string) error {
 	tracer := telemetry.NewTracer(*traceBuffer)
 	registry := telemetry.NewRegistry()
 	metrics := telemetry.NewMetrics(registry)
+	energy := telemetry.NewEnergyLedger()
 	var journal *telemetry.Journal
 	if *journalPath != "" {
 		f, err := os.OpenFile(*journalPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -118,6 +119,7 @@ func run(args []string) error {
 		Tracer:             tracer,
 		Metrics:            metrics,
 		Journal:            journal,
+		Energy:             energy,
 		StateDir:           *stateDir,
 		MaxSessions:        *maxSessions,
 		AllocCacheSize:     *allocCache,
@@ -156,7 +158,7 @@ func run(args []string) error {
 			return fmt.Errorf("telemetry listener: %w", err)
 		}
 		defer tln.Close()
-		go func() { _ = http.Serve(tln, telemetryMux(registry)) }()
+		go func() { _ = http.Serve(tln, telemetryMux(registry, srv)) }()
 		fmt.Printf("harpd: telemetry on http://%s/metrics\n", tln.Addr())
 	}
 
@@ -202,13 +204,24 @@ func livenessPolicy(enabled bool, suspect, quarantine, reap time.Duration) (core
 }
 
 // telemetryMux serves the observability endpoints: Prometheus text,
-// expvar, and the standard pprof profiles.
-func telemetryMux(reg *telemetry.Registry) *http.ServeMux {
+// expvar, the health surface, and the standard pprof profiles.
+func telemetryMux(reg *telemetry.Registry, srv *harp.Server) *http.ServeMux {
 	reg.PublishExpvar("harp")
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		rep := srv.Health()
+		w.Header().Set("Content-Type", "application/json")
+		// Degraded still answers 200: load balancers should keep routing to
+		// an RM that is serving with eroded guarantees, and alert off the
+		// body (or the metrics) instead.
+		if rep.Status == harp.HealthUnhealthy {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		_ = json.NewEncoder(w).Encode(rep)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -250,8 +263,9 @@ func (c *controlListener) serve() {
 }
 
 // handle answers one request per connection: a JSON object
-// {"op": "sessions"}, {"op": "table", "instance": "..."} or
-// {"op": "trace", "n": 100} (n = 0 dumps the whole ring).
+// {"op": "sessions"}, {"op": "table", "instance": "..."},
+// {"op": "trace", "n": 100} (n = 0 dumps the whole ring) or
+// {"op": "health"}.
 func (c *controlListener) handle(conn net.Conn) {
 	defer conn.Close()
 	var req struct {
@@ -268,7 +282,7 @@ func (c *controlListener) handle(conn net.Conn) {
 	switch req.Op {
 	case "sessions":
 		cs := c.srv.AllocCacheStats()
-		_ = enc.Encode(map[string]any{
+		resp := map[string]any{
 			"sessions":   c.srv.Sessions(),
 			"generation": c.srv.Generation(),
 			"uptime_sec": c.srv.Uptime().Seconds(),
@@ -280,8 +294,37 @@ func (c *controlListener) handle(conn net.Conn) {
 				"evictions": cs.Evictions,
 				"hit_rate":  cs.HitRate(),
 			},
-			"solve_source": c.srv.LastSolveSource(),
-		})
+			"solve_source":   c.srv.LastSolveSource(),
+			"tracer_dropped": c.tracer.Dropped(),
+		}
+		if err := c.srv.JournalError(); err != nil {
+			resp["journal_error"] = err.Error()
+		}
+		if mt := c.srv.Metrics(); mt != nil {
+			resp["epoch_p99_sec"] = mt.AllocLatency.Quantile(0.99)
+		}
+		tot := c.srv.EnergyTotals()
+		energy := map[string]any{
+			"fleet_joules":       tot.Joules,
+			"fleet_utility_sec":  tot.UtilityS,
+			"fleet_power_w":      tot.PowerW,
+			"budget_w":           tot.BudgetW,
+			"budget_headroom_w":  tot.BudgetW - tot.PowerW,
+			"budget_overrun_sec": tot.OverrunSec,
+		}
+		var rows []map[string]any
+		for _, se := range c.srv.EnergySessions() {
+			rows = append(rows, map[string]any{
+				"instance":    se.Instance,
+				"joules":      se.Joules,
+				"utility_sec": se.UtilityS,
+				"power_w":     se.PowerW,
+				"efficiency":  se.Efficiency(),
+			})
+		}
+		energy["sessions"] = rows
+		resp["energy"] = energy
+		_ = enc.Encode(resp)
 	case "table":
 		tbl, err := c.srv.TableSnapshot(req.Instance)
 		if err != nil {
@@ -295,6 +338,8 @@ func (c *controlListener) handle(conn net.Conn) {
 			"total":   c.tracer.Total(),
 			"dropped": c.tracer.Dropped(),
 		})
+	case "health":
+		_ = enc.Encode(map[string]any{"health": c.srv.Health()})
 	default:
 		_ = enc.Encode(map[string]string{"error": "unknown op " + req.Op})
 	}

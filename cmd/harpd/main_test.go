@@ -31,6 +31,7 @@ func startDaemonPieces(t *testing.T) (appSock, ctlSock string) {
 		DisableExploration: true,
 		Tracer:             tracer,
 		Metrics:            telemetry.NewMetrics(telemetry.NewRegistry()),
+		Energy:             telemetry.NewEnergyLedger(),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -251,7 +252,7 @@ func TestTelemetryMuxEndpoints(t *testing.T) {
 	}
 	defer client.Close()
 
-	ts := httptest.NewServer(telemetryMux(registry))
+	ts := httptest.NewServer(telemetryMux(registry, srv))
 	defer ts.Close()
 
 	get := func(path string) string {
@@ -280,5 +281,66 @@ func TestTelemetryMuxEndpoints(t *testing.T) {
 	}
 	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
 		t.Errorf("/debug/pprof/ index incomplete:\n%s", body)
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz = %d on a healthy daemon", resp.StatusCode)
+	}
+	var rep harp.HealthReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != harp.HealthOK && rep.Status != harp.HealthDegraded {
+		t.Errorf("health status = %q, want ok or degraded on a fresh daemon", rep.Status)
+	}
+	names := map[string]bool{}
+	for _, c := range rep.Checks {
+		names[c.Name] = true
+	}
+	for _, want := range []string{"measure-jitter", "journal", "tracer", "sessions", "store", "budget"} {
+		if !names[want] {
+			t.Errorf("/healthz missing check %q: %+v", want, rep.Checks)
+		}
+	}
+}
+
+// TestControlHealthAndEnergy exercises the health op and the energy block of
+// the sessions op over the control socket — the surfaces harpctl health and
+// harpctl top render.
+func TestControlHealthAndEnergy(t *testing.T) {
+	appSock, ctlSock := startDaemonPieces(t)
+	client, err := harp.Dial(appSock, harp.Registration{App: "he", PID: 9, Adaptivity: harp.Scalable})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	resp := controlRequest(t, ctlSock, map[string]string{"op": "health"})
+	var rep harp.HealthReport
+	if err := json.Unmarshal(resp["health"], &rep); err != nil {
+		t.Fatalf("health: %v (%s)", err, resp["health"])
+	}
+	if rep.Status == "" || len(rep.Checks) == 0 {
+		t.Fatalf("empty health report: %+v", rep)
+	}
+
+	resp = controlRequest(t, ctlSock, map[string]string{"op": "sessions"})
+	var energy struct {
+		FleetJoules float64          `json:"fleet_joules"`
+		Sessions    []map[string]any `json:"sessions"`
+	}
+	if err := json.Unmarshal(resp["energy"], &energy); err != nil {
+		t.Fatalf("energy: %v (%s)", err, resp["energy"])
+	}
+	if _, ok := resp["tracer_dropped"]; !ok {
+		t.Fatalf("tracer_dropped missing: %v", resp)
+	}
+	if _, ok := resp["epoch_p99_sec"]; !ok {
+		t.Fatalf("epoch_p99_sec missing: %v", resp)
 	}
 }

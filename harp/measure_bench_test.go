@@ -62,6 +62,7 @@ func BenchmarkMeasureOnce(b *testing.B) {
 			Tracer:  telemetry.NewTracer(0),
 			Metrics: telemetry.NewMetrics(telemetry.NewRegistry()),
 			Journal: telemetry.NewJournal(io.Discard),
+			Energy:  telemetry.NewEnergyLedger(),
 		})
 		b.ReportAllocs()
 		b.ResetTimer()

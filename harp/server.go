@@ -71,6 +71,11 @@ type ServerConfig struct {
 	// Metrics receives the adaptation-loop instruments, including the
 	// allocation-latency and measure-loop-jitter histograms (nil disables).
 	Metrics *telemetry.Metrics
+	// Energy accumulates per-session and fleet joules from the measure loop
+	// (nil disables energy accounting). The server rebinds the ledger's
+	// clock to wall time since server creation — the same base as the
+	// tracer — and persists it in the StateDir so joules survive restarts.
+	Energy *telemetry.EnergyLedger
 	// Liveness sets the silence deadlines for the suspect → quarantine →
 	// reap escalation. The zero value disables liveness tracking: sessions
 	// then end only on exit or reader EOF (the pre-resilience behaviour).
@@ -205,6 +210,11 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		}
 	}
 	start := time.Now()
+	cfg.Energy.SetClock(func() time.Duration { return time.Since(start) })
+	if mt := cfg.Metrics; mt != nil {
+		cfg.Tracer.CountDrops(mt.TracerDropped)
+		cfg.Journal.CountErrors(mt.JournalErrors)
+	}
 	coreCfg := core.Config{
 		Platform:           cfg.Platform,
 		Allocator:          cfg.Allocator,
@@ -214,6 +224,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		Tracer:             cfg.Tracer,
 		Journal:            cfg.Journal,
 		Metrics:            cfg.Metrics,
+		Energy:             cfg.Energy,
 		MaxSessions:        cfg.MaxSessions,
 		AllocCacheSize:     cfg.AllocCacheSize,
 		AllocWarmStart:     cfg.AllocWarmStart,
@@ -423,6 +434,25 @@ func (s *Server) StoreRecovery() (rec store.Recovery, ok bool) {
 	}
 	return s.store.Recovery(), true
 }
+
+// Metrics returns the server's instrument bundle (nil when metrics are
+// disabled) — the health surface and harpd's control ops read it.
+func (s *Server) Metrics() *telemetry.Metrics { return s.cfg.Metrics }
+
+// JournalError returns the decision journal's sticky write error, if any
+// (nil without a journal or while it is healthy).
+func (s *Server) JournalError() error { return s.cfg.Journal.Err() }
+
+// TracerDropped returns how many events the tracer ring has evicted.
+func (s *Server) TracerDropped() uint64 { return s.cfg.Tracer.Dropped() }
+
+// EnergyTotals returns the fleet energy accumulators (zero without a
+// ledger).
+func (s *Server) EnergyTotals() telemetry.EnergyTotals { return s.cfg.Energy.Totals() }
+
+// EnergySessions returns the per-session energy rows sorted by instance
+// (nil without a ledger).
+func (s *Server) EnergySessions() []telemetry.SessionEnergy { return s.cfg.Energy.Sessions() }
 
 // measureLoop is the 50 ms monitoring cadence; each tick also runs the
 // liveness sweep when a policy is configured.

@@ -261,3 +261,70 @@ func TestServerCloseRacesInFlightMeasure(t *testing.T) {
 		t.Fatalf("generation = %d, want 2", st.Generation())
 	}
 }
+
+// TestServerEnergySurvivesRestart pins the energy ledger's durability
+// contract: cumulative fleet joules are exported with the state, recovered
+// into a fresh ledger at warm restart, and only ever grow — the restart
+// re-anchors integration instead of inventing energy for the downtime or
+// resetting the account to zero.
+func TestServerEnergySurvivesRestart(t *testing.T) {
+	stateDir := filepath.Join(t.TempDir(), "state")
+	sampler := fixedSampler{utility: 80, power: 20}
+
+	led1 := telemetry.NewEnergyLedger()
+	srv1, sock1 := startServer(t, ServerConfig{
+		StateDir:     stateDir,
+		Sampler:      sampler,
+		MeasureEvery: time.Millisecond,
+		Energy:       led1,
+	})
+	c1, err := Dial(sock1, Registration{App: "joule", PID: 11, Adaptivity: Scalable})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for srv1.EnergyTotals().Joules == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no energy attributed despite a sampler feeding 20 W")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	before := srv1.EnergyTotals()
+	// Conservation: the per-session rows plus the retired accumulator must
+	// account for every fleet joule exactly (one lock guards both sides).
+	var sum float64
+	for _, se := range srv1.EnergySessions() {
+		sum += se.Joules
+	}
+	if diff := sum + before.RetiredJoules - before.Joules; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("energy conservation violated: sessions %.12f + retired %.12f != fleet %.12f",
+			sum, before.RetiredJoules, before.Joules)
+	}
+	closeWithin(t, srv1, 5*time.Second)
+
+	led2 := telemetry.NewEnergyLedger()
+	srv2, sock2 := startServer(t, ServerConfig{
+		StateDir:     stateDir,
+		Sampler:      sampler,
+		MeasureEvery: time.Millisecond,
+		Energy:       led2,
+	})
+	recovered := srv2.EnergyTotals()
+	if recovered.Joules < before.Joules {
+		t.Fatalf("fleet joules shrank across restart: %.6f -> %.6f", before.Joules, recovered.Joules)
+	}
+	c2, err := Dial(sock2, Registration{App: "joule", PID: 11, Adaptivity: Scalable})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	deadline = time.Now().Add(5 * time.Second)
+	for srv2.EnergyTotals().Joules <= recovered.Joules {
+		if time.Now().After(deadline) {
+			t.Fatalf("energy stopped accruing after restart (stuck at %.6f J)", recovered.Joules)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

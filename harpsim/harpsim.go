@@ -155,6 +155,12 @@ type Options struct {
 	// allocation-latency histogram stays empty: wall time would measure the
 	// host, not the simulated system.
 	Metrics *telemetry.Metrics
+	// Energy attaches an energy ledger to the simulated RM (HARP policies
+	// only; nil disables). Its clock is rebound to the machine's virtual
+	// time, so joule integrals are deterministic; the caller reads totals
+	// from the ledger after Run returns. An rm-crash restart reuses the
+	// same ledger, re-seeded from the recovered state like harpd would.
+	Energy *telemetry.EnergyLedger
 	// Liveness sets the RM's silence deadlines on the simulator's virtual
 	// clock: a session whose measurements stop flowing is suspected,
 	// quarantined (cores reclaimed, learning frozen) and finally reaped.

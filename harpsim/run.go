@@ -180,9 +180,15 @@ type muteState struct {
 
 // attachHARP connects the RM to a machine.
 func attachHARP(machine *sim.Machine, sc Scenario, opts Options) (*harpHarness, error) {
-	// Rebind the tracer to virtual time before anything emits: identical
-	// scenarios then produce bit-identical event streams.
+	// Rebind the tracer and energy ledger to virtual time before anything
+	// emits or integrates: identical scenarios then produce bit-identical
+	// event streams and joule totals.
 	opts.Tracer.SetClock(machine.Now)
+	opts.Energy.SetClock(machine.Now)
+	if mt := opts.Metrics; mt != nil {
+		opts.Tracer.CountDrops(mt.TracerDropped)
+		opts.Journal.CountErrors(mt.JournalErrors)
+	}
 	disableExplore := opts.Policy == PolicyHARPOffline || !sc.Platform.SimultaneousPMU
 	coreCfg := core.Config{
 		Platform:           sc.Platform,
@@ -193,6 +199,7 @@ func attachHARP(machine *sim.Machine, sc Scenario, opts Options) (*harpHarness, 
 		Tracer:             opts.Tracer,
 		Journal:            opts.Journal,
 		Metrics:            opts.Metrics,
+		Energy:             opts.Energy,
 		AllocCacheSize:     opts.AllocCacheSize,
 		AllocWarmStart:     opts.AllocWarmStart,
 	}
@@ -219,7 +226,7 @@ func attachHARP(machine *sim.Machine, sc Scenario, opts Options) (*harpHarness, 
 			return nil, err
 		}
 	}
-	mon, err := monitor.New(machine, monitor.WithSeed(opts.Seed), monitor.WithTracer(opts.Tracer))
+	mon, err := monitor.New(machine, monitor.WithSeed(opts.Seed), monitor.WithTracer(opts.Tracer), monitor.WithMetrics(opts.Metrics))
 	if err != nil {
 		if st != nil {
 			_ = st.Close()

@@ -3,6 +3,7 @@ package harpsim
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"testing"
 
 	"github.com/harp-rm/harp/internal/telemetry"
@@ -17,6 +18,7 @@ func tracedRun(t *testing.T, sc Scenario, opts Options) (journal, trace []byte, 
 	opts.Tracer = tr
 	opts.Journal = telemetry.NewJournal(&jbuf)
 	opts.Metrics = telemetry.NewMetrics(telemetry.NewRegistry())
+	opts.Energy = telemetry.NewEnergyLedger()
 	opts.RecordTimeline = true
 	res = mustRun(t, sc, opts)
 	if err := opts.Journal.Err(); err != nil {
@@ -146,6 +148,91 @@ func TestSimTelemetryDeterministic(t *testing.T) {
 	}
 	if !bytes.Equal(c1, c2) {
 		t.Error("Chrome traces differ between identical runs")
+	}
+}
+
+// TestSimPhaseSpansTraced: with the flight recorder on, the epoch phases
+// show up as balanced begin/end span pairs covering the adaptation loop.
+func TestSimPhaseSpansTraced(t *testing.T) {
+	sc := intelScenario(t, "cg.C", "is.C")
+	tables := OfflineDSETables(sc.Platform, sc.Apps)
+	_, _, events, _ := tracedRun(t, sc, Options{
+		Policy: PolicyHARPOffline, OfflineTables: tables, Seed: 3,
+	})
+
+	begins, ends := map[string]int{}, map[string]int{}
+	for _, ev := range events {
+		switch ev.Kind {
+		case telemetry.EvSpanBegin:
+			begins[ev.Stage]++
+		case telemetry.EvSpanEnd:
+			ends[ev.Stage]++
+		}
+	}
+	for _, phase := range []string{
+		telemetry.PhaseEpoch, telemetry.PhaseSnapshot, telemetry.PhaseFingerprint,
+		telemetry.PhaseSolve, telemetry.PhasePush, telemetry.PhaseJournal,
+		telemetry.PhaseMeasure,
+	} {
+		if begins[phase] == 0 {
+			t.Errorf("no %s spans in a traced run", phase)
+		}
+		if begins[phase] != ends[phase] {
+			t.Errorf("%s spans unbalanced: %d begins, %d ends", phase, begins[phase], ends[phase])
+		}
+	}
+}
+
+// TestSimEnergyAccounting is the energy acceptance check: a seeded run
+// attributes a positive joule total, the per-session rows plus the retired
+// accumulator conserve it exactly, and the journalled energy_j field is
+// monotone non-decreasing across epochs.
+func TestSimEnergyAccounting(t *testing.T) {
+	sc := intelScenario(t, "cg.C", "is.C")
+	tables := OfflineDSETables(sc.Platform, sc.Apps)
+	led := telemetry.NewEnergyLedger()
+	var jbuf bytes.Buffer
+	mustRun(t, sc, Options{
+		Policy: PolicyHARPOffline, OfflineTables: tables, Seed: 3,
+		Journal: telemetry.NewJournal(&jbuf), Energy: led,
+	})
+
+	tot := led.Totals()
+	if tot.Joules <= 0 {
+		t.Fatalf("fleet joules = %.6f, want > 0 from a managed run", tot.Joules)
+	}
+	if tot.UtilityS <= 0 {
+		t.Errorf("fleet utility-seconds = %.6f, want > 0", tot.UtilityS)
+	}
+	var sum float64
+	for _, se := range led.Sessions() {
+		sum += se.Joules
+	}
+	if diff := sum + tot.RetiredJoules - tot.Joules; math.Abs(diff) > 1e-9 {
+		t.Errorf("energy conservation violated: sessions %.12f + retired %.12f != fleet %.12f",
+			sum, tot.RetiredJoules, tot.Joules)
+	}
+
+	epochs, err := telemetry.ReadJournal(bytes.NewReader(jbuf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadJournal: %v", err)
+	}
+	last := 0.0
+	budgeted := false
+	for i, rec := range epochs {
+		if rec.EnergyJ < last {
+			t.Errorf("epoch %d energy_j regressed: %.6f after %.6f", i, rec.EnergyJ, last)
+		}
+		last = rec.EnergyJ
+		if rec.PowerBudgetW > 0 {
+			budgeted = true
+		}
+	}
+	if last <= 0 {
+		t.Error("journal never recorded a positive energy_j")
+	}
+	if !budgeted {
+		t.Error("journal never recorded a power budget")
 	}
 }
 

@@ -104,6 +104,13 @@ type Allocator struct {
 	prevLambda []float64
 	havePrev   bool
 
+	// Flight-recorder phase histograms, resolved once in New so the hot path
+	// never touches the HistogramVec map (nil when metrics are off — the
+	// span API is nil-safe).
+	fingerprintHist *telemetry.Histogram
+	solveHist       *telemetry.Histogram
+	repairHist      *telemetry.Histogram
+
 	scratch solverScratch
 }
 
@@ -209,6 +216,11 @@ func New(plat *platform.Platform, opts ...Option) (*Allocator, error) {
 		a.cache = newSolutionCache(a.cacheSize)
 	}
 	a.fpBase = a.fingerprintBase()
+	if a.metrics != nil {
+		a.fingerprintHist = a.metrics.EpochPhase.With(telemetry.PhaseFingerprint)
+		a.solveHist = a.metrics.EpochPhase.With(telemetry.PhaseSolve)
+		a.repairHist = a.metrics.EpochPhase.With(telemetry.PhaseRepair)
+	}
 	return a, nil
 }
 
@@ -287,9 +299,11 @@ func (a *Allocator) AllocateWithStats(apps []AppInput) ([]Allocation, Stats, err
 	var fp Fingerprint
 	fpOK := false
 	if a.cache != nil {
+		sp := a.tracer.BeginPhase(telemetry.PhaseFingerprint, a.fingerprintHist)
 		fp, fpOK = a.fingerprintInputs(apps)
 		if fpOK {
 			if e := a.cache.get(fp); e != nil {
+				sp.End()
 				if a.metrics != nil {
 					a.metrics.AllocCacheHits.Inc()
 				}
@@ -303,6 +317,7 @@ func (a *Allocator) AllocateWithStats(apps []AppInput) ([]Allocation, Stats, err
 				a.metrics.AllocCacheMisses.Inc()
 			}
 		}
+		sp.End()
 	}
 
 	s := &a.scratch
@@ -312,12 +327,15 @@ func (a *Allocator) AllocateWithStats(apps []AppInput) ([]Allocation, Stats, err
 		capacity[k] = kind.Count
 	}
 
+	solveSpan := a.tracer.BeginPhase(telemetry.PhaseSolve, a.solveHist)
 	states := s.ensureStates(len(apps))
 	for i, app := range apps {
 		if app.Table == nil {
+			solveSpan.End()
 			return nil, stats, fmt.Errorf("alloc: app %q without operating-point table", app.ID)
 		}
 		if err := a.buildState(states[i], app); err != nil {
+			solveSpan.End()
 			return nil, stats, err
 		}
 		stats.Candidates += len(states[i].cands)
@@ -340,6 +358,9 @@ func (a *Allocator) AllocateWithStats(apps []AppInput) ([]Allocation, Stats, err
 			states[i].chosen = -1
 		}
 	}
+	solveSpan.End()
+
+	repairSpan := a.tracer.BeginPhase(telemetry.PhaseRepair, a.repairHist)
 	a.repair(states, capacity)
 	if a.method == Lagrangian {
 		// rescue is part of the production pipeline only: the greedy
@@ -349,6 +370,7 @@ func (a *Allocator) AllocateWithStats(apps []AppInput) ([]Allocation, Stats, err
 	}
 	a.improve(states, capacity)
 	out, err := a.assignCores(states)
+	repairSpan.End()
 	if err != nil {
 		return nil, stats, err
 	}

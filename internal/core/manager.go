@@ -126,6 +126,11 @@ type Config struct {
 	Journal *telemetry.Journal
 	// Metrics receives the adaptation-loop instruments (nil disables).
 	Metrics *telemetry.Metrics
+	// Energy accumulates per-session and fleet joules from Measure samples
+	// (nil disables energy accounting). The embedding layer owns the ledger
+	// and its clock: harp.Server binds wall time since startup, harpsim binds
+	// the machine's virtual clock.
+	Energy *telemetry.EnergyLedger
 	// LatencyClock, when set, times each allocation for the
 	// harp_allocation_seconds histogram. Servers inject wall time since
 	// startup; simulated runs leave it nil (the histogram would measure
@@ -206,6 +211,14 @@ type Manager struct {
 	// from ("cold", "warm" or "cached") for status surfaces; empty before
 	// the first solve.
 	lastSolveSource string
+
+	// Flight-recorder phase histograms, resolved once at construction so the
+	// epoch path never touches the HistogramVec map (nil without metrics —
+	// the span API is nil-safe).
+	epochHist    *telemetry.Histogram
+	snapshotHist *telemetry.Histogram
+	pushHist     *telemetry.Histogram
+	journalHist  *telemetry.Histogram
 }
 
 // NewManager creates a resource manager.
@@ -247,13 +260,21 @@ func NewManager(cfg Config) (*Manager, error) {
 	if cfg.ReallocEvery < 1 {
 		return nil, fmt.Errorf("core: realloc cadence %d", cfg.ReallocEvery)
 	}
-	return &Manager{
+	m := &Manager{
 		cfg:       cfg,
 		allocator: allocator,
 		sessions:  make(map[string]*session),
 		explorers: make(map[string]*explore.Explorer),
 		ended:     make(map[string]struct{}),
-	}, nil
+	}
+	if mt := cfg.Metrics; mt != nil {
+		m.epochHist = mt.EpochPhase.With(telemetry.PhaseEpoch)
+		m.snapshotHist = mt.EpochPhase.With(telemetry.PhaseSnapshot)
+		m.pushHist = mt.EpochPhase.With(telemetry.PhasePush)
+		m.journalHist = mt.EpochPhase.With(telemetry.PhaseJournal)
+		cfg.Energy.BindMetrics(mt.SessionEnergy, mt.EnergyTotal, mt.BudgetOverrunSeconds)
+	}
+	return m, nil
 }
 
 // explorerFor returns the application's persistent explorer, creating and
@@ -393,6 +414,7 @@ func (m *Manager) deregister(instance, trigger string, kind telemetry.EventKind)
 	}
 	delete(m.sessions, instance)
 	m.ended[instance] = struct{}{}
+	m.cfg.Energy.EndSession(instance)
 	for i, id := range m.order {
 		if id == instance {
 			m.order = append(m.order[:i], m.order[i+1:]...)
@@ -522,6 +544,10 @@ func (m *Manager) Measure(instance string, utility, power float64) error {
 		s.utilGauge.Set(utility)
 		s.powerGauge.Set(power)
 	}
+	// Energy accrues for every sample — quarantined and co-allocated
+	// sessions still draw the watts they report, even while learning from
+	// those samples is suspended.
+	m.cfg.Energy.Observe(instance, utility, power)
 	if s.liveness == LivenessQuarantined {
 		// Learning is frozen in quarantine: the session's cores were
 		// reclaimed, so samples describe a zero-resource configuration and
@@ -638,8 +664,12 @@ func (m *Manager) reallocate(trigger string) error {
 		t0 = m.cfg.LatencyClock()
 	}
 
+	ep := m.cfg.Tracer.BeginPhase(telemetry.PhaseEpoch, m.epochHist)
+	defer ep.End()
+
 	// Quarantined sessions are excluded from the solve: their cores shrink
 	// to zero (a parked decision) and the survivors absorb the capacity.
+	snap := m.cfg.Tracer.BeginPhase(telemetry.PhaseSnapshot, m.snapshotHist)
 	inputs := make([]alloc.AppInput, 0, len(m.order))
 	for _, id := range m.order {
 		s := m.sessions[id]
@@ -648,6 +678,7 @@ func (m *Manager) reallocate(trigger string) error {
 		}
 		inputs = append(inputs, alloc.AppInput{ID: id, Table: s.explorer.PredictedTable()})
 	}
+	snap.End()
 	var allocs []alloc.Allocation
 	var stats alloc.Stats
 	if len(inputs) > 0 {
@@ -665,6 +696,7 @@ func (m *Manager) reallocate(trigger string) error {
 			return fmt.Errorf("core: allocate: %w", err)
 		}
 	}
+	pushSpan := m.cfg.Tracer.BeginPhase(telemetry.PhasePush, m.pushHist)
 	byID := make(map[string]alloc.Allocation, len(allocs))
 	for _, al := range allocs {
 		byID[al.ID] = al
@@ -729,6 +761,7 @@ func (m *Manager) reallocate(trigger string) error {
 		s.bound = nil
 		m.pushBase(s, al)
 	}
+	pushSpan.End()
 
 	if timed {
 		if mt := m.cfg.Metrics; mt != nil {
@@ -787,34 +820,55 @@ func (m *Manager) recordEpochError(trigger string, allocErr error) {
 }
 
 func (m *Manager) recordEpochWith(trigger string, lambdaIters int, source, errMsg string) {
-	if !m.cfg.Journal.Enabled() {
+	if !m.cfg.Journal.Enabled() && m.cfg.Energy == nil {
 		return
 	}
-	rec := telemetry.EpochRecord{
-		AtSec:       m.cfg.Tracer.Now().Seconds(),
-		Trigger:     trigger,
-		LambdaIters: lambdaIters,
-		SolveSource: source,
-		Error:       errMsg,
-		Inputs:      make([]telemetry.EpochInput, 0, len(m.order)),
-		Outputs:     m.pendingOut,
-	}
+	var budget float64
 	for _, id := range m.order {
-		s := m.sessions[id]
-		rec.Inputs = append(rec.Inputs, telemetry.EpochInput{
-			Instance: s.instance,
-			App:      s.app,
-			Stage:    s.explorer.Stage().String(),
-			Utility:  s.lastUtility,
-			PowerW:   s.lastPower,
-			Measured: s.explorer.Table().MeasuredCount(),
-		})
-		if s.last != nil {
-			rec.PowerBudgetW += s.last.PredictedPowerW
+		if s := m.sessions[id]; s.last != nil {
+			budget += s.last.PredictedPowerW
 		}
 	}
-	m.pendingOut = nil
-	_ = m.cfg.Journal.Record(rec) // sticky error readable via Journal.Err
+	// The epoch's predicted system power is the fleet budget the energy
+	// ledger accrues overrun against until the next epoch moves it.
+	m.cfg.Energy.SetBudget(budget)
+	if m.cfg.Journal.Enabled() {
+		rec := telemetry.EpochRecord{
+			AtSec:        m.cfg.Tracer.Now().Seconds(),
+			Trigger:      trigger,
+			LambdaIters:  lambdaIters,
+			SolveSource:  source,
+			PowerBudgetW: budget,
+			Error:        errMsg,
+			Inputs:       make([]telemetry.EpochInput, 0, len(m.order)),
+			Outputs:      m.pendingOut,
+		}
+		if led := m.cfg.Energy; led != nil {
+			tot := led.Totals()
+			rec.EnergyJ = tot.Joules
+			rec.BudgetHeadroomW = budget - tot.PowerW
+		}
+		for _, id := range m.order {
+			s := m.sessions[id]
+			rec.Inputs = append(rec.Inputs, telemetry.EpochInput{
+				Instance: s.instance,
+				App:      s.app,
+				Stage:    s.explorer.Stage().String(),
+				Utility:  s.lastUtility,
+				PowerW:   s.lastPower,
+				Measured: s.explorer.Table().MeasuredCount(),
+			})
+		}
+		m.pendingOut = nil
+		jsp := m.cfg.Tracer.BeginPhase(telemetry.PhaseJournal, m.journalHist)
+		_ = m.cfg.Journal.Record(rec) // sticky error readable via Journal.Err
+		jsp.End()
+	}
+	if m.cfg.Energy != nil {
+		// Persist the ledger once per epoch: a crash loses at most the
+		// accrual since this record, so recovered joules stay monotone.
+		m.appendRecord(store.Record{Kind: store.RecEnergy, Energy: m.cfg.Energy.Export()})
+	}
 }
 
 // exploring reports whether a session is still learning.

@@ -61,6 +61,7 @@ func (m *Manager) ExportState() *store.State {
 	if c, ok := m.allocator.(cacheExporter); ok {
 		st.AllocCache = c.ExportCache(exportCacheMax)
 	}
+	st.Energy = m.cfg.Energy.Export()
 	return st
 }
 
@@ -136,6 +137,12 @@ func (m *Manager) ImportState(st *store.State, rec store.Recovery) error {
 	}
 	if c, ok := m.allocator.(cacheExporter); ok {
 		c.SeedCache(st.AllocCache)
+	}
+	if st.Energy != nil {
+		// Restore the cumulative joule accounting so "energy since
+		// deployment" survives the restart; integration re-anchors at each
+		// session's next sample, so no energy is invented for the downtime.
+		m.cfg.Energy.Seed(st.Energy)
 	}
 	m.recordEpochWith("recover", 0, "", errMsg)
 	return nil

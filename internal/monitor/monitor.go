@@ -51,6 +51,16 @@ func WithTracer(t *telemetry.Tracer) Option {
 	return optionFunc(func(m *Monitor) { m.tracer = t })
 }
 
+// WithMetrics aggregates each Sample tick's duration into the flight
+// recorder's "measure" phase histogram (nil disables).
+func WithMetrics(mx *telemetry.Metrics) Option {
+	return optionFunc(func(m *Monitor) {
+		if mx != nil {
+			m.measureHist = mx.EpochPhase.With(telemetry.PhaseMeasure)
+		}
+	})
+}
+
 // Measurement is one per-application sample.
 type Measurement struct {
 	// IPS is the raw instructions-per-second reading in GI/s.
@@ -83,13 +93,14 @@ type appState struct {
 // machine's counters, exactly as HARP would from perf + RAPL on real
 // hardware.
 type Monitor struct {
-	machine *sim.Machine
-	gamma   []float64 // per-kind power coefficient relative to the most efficient kind
-	static  float64   // estimated static (idle + uncore) watts subtracted before attribution
-	noise   float64
-	alpha   float64
-	rng     *rand.Rand
-	tracer  *telemetry.Tracer
+	machine     *sim.Machine
+	gamma       []float64 // per-kind power coefficient relative to the most efficient kind
+	static      float64   // estimated static (idle + uncore) watts subtracted before attribution
+	noise       float64
+	alpha       float64
+	rng         *rand.Rand
+	tracer      *telemetry.Tracer
+	measureHist *telemetry.Histogram
 
 	apps       map[sim.ProcID]*appState
 	lastEnergy sim.EnergyReading
@@ -211,6 +222,8 @@ func (m *Monitor) ResetSmoothing(id sim.ProcID) {
 // (or copy) it before sampling again. Every caller in this repo reads it
 // within the same control cycle.
 func (m *Monitor) Sample() map[sim.ProcID]Measurement {
+	sp := m.tracer.BeginPhase(telemetry.PhaseMeasure, m.measureHist)
+	defer sp.End()
 	now := m.machine.Now()
 	dt := (now - m.lastTime).Seconds()
 	energy := m.machine.Energy()

@@ -16,6 +16,7 @@ package store
 import (
 	"github.com/harp-rm/harp/internal/alloc"
 	"github.com/harp-rm/harp/internal/opoint"
+	"github.com/harp-rm/harp/internal/telemetry"
 )
 
 // Record kinds logged to the WAL, one per mutating journal trigger.
@@ -31,6 +32,9 @@ const (
 	RecPoint = "point"
 	// RecPhase logs an application phase change.
 	RecPhase = "phase"
+	// RecEnergy logs a full energy-ledger snapshot (appended once per epoch;
+	// each record supersedes the previous, so replay keeps only the last).
+	RecEnergy = "energy"
 )
 
 // Record is one WAL entry. LSN is assigned by Store.Append; Seq carries the
@@ -47,6 +51,7 @@ type Record struct {
 	Stage      string                 `json:"stage,omitempty"`
 	Table      *opoint.Table          `json:"table,omitempty"`
 	Point      *opoint.OperatingPoint `json:"point,omitempty"`
+	Energy     *telemetry.EnergyState `json:"energy,omitempty"`
 }
 
 // SessionState is the durable view of one registered session.
@@ -76,6 +81,11 @@ type State struct {
 	// configuration and full table contents — so a stale entry after a
 	// config change is unreachable rather than wrong.
 	AllocCache []alloc.CachedSolution `json:"allocCache,omitempty"`
+	// Energy is the cumulative energy ledger at the last epoch — per-session
+	// and fleet joules survive a warm restart, so "joules since deployment"
+	// stays meaningful across kill -9 (at most the accrual since the last
+	// epoch's WAL record is lost).
+	Energy *telemetry.EnergyState `json:"energy,omitempty"`
 }
 
 // NewState returns an empty cold-start state.
@@ -128,6 +138,10 @@ func (s *State) Apply(r Record) {
 				s.Sessions[i].Phase = r.Phase
 			}
 		}
+	case RecEnergy:
+		if r.Energy != nil {
+			s.Energy = r.Energy.Clone()
+		}
 	}
 }
 
@@ -176,6 +190,7 @@ func (s *State) Clone() *State {
 		Seq:        s.Seq,
 		Sessions:   append([]SessionState(nil), s.Sessions...),
 		AllocCache: append([]alloc.CachedSolution(nil), s.AllocCache...),
+		Energy:     s.Energy.Clone(),
 		Tables:     make(map[string]*opoint.Table, len(s.Tables)),
 	}
 	for app, t := range s.Tables {

@@ -66,6 +66,15 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 				Name: "core occupancy", Ph: "C", Ts: ts, Pid: 1, Tid: tid(""),
 				Args: args,
 			})
+		case EvSpanBegin, EvSpanEnd:
+			// Flight-recorder phases render as nested duration events on the
+			// RM track — spans close in LIFO order, so the B/E pairing is a
+			// well-formed flame stack.
+			ph := "B"
+			if ev.Kind == EvSpanEnd {
+				ph = "E"
+			}
+			out = append(out, chromeEvent{Name: ev.Stage, Ph: ph, Ts: ts, Pid: 1, Tid: tid("")})
 		default:
 			args := map[string]any{}
 			if ev.Vector != "" {

@@ -60,6 +60,14 @@ type EpochRecord struct {
 	// allocation — the sum of the per-app slices in Outputs plus unchanged
 	// allocations.
 	PowerBudgetW float64 `json:"power_budget_w"`
+	// EnergyJ is the fleet's cumulative attributed energy at the end of the
+	// epoch (joules on the energy ledger's clock). Omitted when no energy
+	// ledger is wired in, keeping journals byte-identical to older runs.
+	EnergyJ float64 `json:"energy_j,omitempty"`
+	// BudgetHeadroomW is PowerBudgetW minus the measured fleet power at the
+	// epoch — negative while the fleet draws more than the allocation
+	// predicted. Omitted without an energy ledger.
+	BudgetHeadroomW float64 `json:"budget_headroom_w,omitempty"`
 	// Error records a failed reallocation: the allocator's error message for
 	// an epoch that pushed no decisions because the solve itself failed.
 	// Empty for successful epochs.
@@ -79,6 +87,7 @@ type Journal struct {
 	enc    *json.Encoder
 	epochs int
 	err    error
+	errs   *Counter
 }
 
 // NewJournal creates a journal writing to w.
@@ -89,6 +98,19 @@ func NewJournal(w io.Writer) *Journal {
 // Enabled reports whether records are being written.
 func (j *Journal) Enabled() bool { return j != nil }
 
+// CountErrors binds a counter (typically harp_journal_errors_total) that is
+// incremented for every record lost to a write error — the first failing
+// write and each record suppressed by the sticky error after it. No-op on a
+// nil journal or counter.
+func (j *Journal) CountErrors(c *Counter) {
+	if j == nil || c == nil {
+		return
+	}
+	j.mu.Lock()
+	j.errs = c
+	j.mu.Unlock()
+}
+
 // Record assigns the next epoch number and writes the record as one JSON
 // line. The first write error sticks and suppresses further output.
 func (j *Journal) Record(rec EpochRecord) error {
@@ -98,12 +120,14 @@ func (j *Journal) Record(rec EpochRecord) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.err != nil {
+		j.errs.Inc()
 		return j.err
 	}
 	j.epochs++
 	rec.Epoch = j.epochs
 	if err := j.enc.Encode(rec); err != nil {
 		j.err = fmt.Errorf("telemetry: journal write: %w", err)
+		j.errs.Inc()
 		return j.err
 	}
 	return nil

@@ -35,6 +35,35 @@ func (c *Counter) Value() uint64 {
 	return c.v.Load()
 }
 
+// FloatCounter is a monotonically increasing float64 metric (e.g. joules,
+// seconds). All methods are nil-safe and lock-free (CAS on the float bits).
+type FloatCounter struct {
+	bits atomic.Uint64
+}
+
+// Add adds v (negative or NaN additions are ignored to keep the counter
+// monotone).
+func (c *FloatCounter) Add(v float64) {
+	if c == nil || !(v > 0) {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the current total.
+func (c *FloatCounter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
 // Gauge is a float64 metric that can go up and down. All methods are
 // nil-safe and lock-free.
 type Gauge struct {
@@ -142,15 +171,70 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sumBits.Load())
 }
 
+// Quantile estimates the q-quantile (0 < q <= 1) from the bucket counts,
+// returning the upper bound of the bucket containing the rank — a
+// conservative (pessimistic) estimate, which is what health thresholds
+// want. Returns 0 with no observations, and +Inf when the rank falls in the
+// implicit +Inf bucket. Nil-safe.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, ub := range h.buckets {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			return ub
+		}
+	}
+	return math.Inf(1)
+}
+
+// HistogramVec is a family of histograms sharing one bucket layout, keyed
+// by one label value (e.g. epoch phase durations keyed by phase).
+type HistogramVec struct {
+	label   string
+	buckets []float64
+	mu      sync.Mutex
+	vals    map[string]*Histogram
+}
+
+// With returns the histogram for the label value, creating it on first use.
+// Callers on hot paths should cache the returned *Histogram. Nil-safe:
+// returns a nil *Histogram whose methods are no-ops.
+func (v *HistogramVec) With(value string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h, ok := v.vals[value]
+	if !ok {
+		h = &Histogram{buckets: v.buckets, counts: make([]atomic.Uint64, len(v.buckets))}
+		v.vals[value] = h
+	}
+	return h
+}
+
 // metric is one registered instrument.
 type metric struct {
 	name string
 	help string
 	typ  string // "counter", "gauge", "histogram"
 	c    *Counter
+	fc   *FloatCounter
 	g    *Gauge
 	gv   *GaugeVec
 	h    *Histogram
+	hv   *HistogramVec
 }
 
 // Registry holds named metrics and renders them in Prometheus text format
@@ -190,6 +274,18 @@ func (r *Registry) Counter(name, help string) *Counter {
 		m.c = &Counter{}
 	}
 	return m.c
+}
+
+// FloatCounter returns the named float counter, creating it on first use.
+func (r *Registry) FloatCounter(name, help string) *FloatCounter {
+	if r == nil {
+		return nil
+	}
+	m := r.register(name, help, "counter")
+	if m.fc == nil {
+		m.fc = &FloatCounter{}
+	}
+	return m.fc
 }
 
 // Gauge returns the named gauge, creating it on first use.
@@ -232,6 +328,21 @@ func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
 	return m.h
 }
 
+// HistogramVec returns the named one-label histogram family with the given
+// bucket upper bounds, creating it on first use.
+func (r *Registry) HistogramVec(name, help, label string, buckets []float64) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	m := r.register(name, help, "histogram")
+	if m.hv == nil {
+		bs := append([]float64(nil), buckets...)
+		sort.Float64s(bs)
+		m.hv = &HistogramVec{label: label, buckets: bs, vals: make(map[string]*Histogram)}
+	}
+	return m.hv
+}
+
 // WritePrometheus renders every metric in the Prometheus text exposition
 // format (version 0.0.4), in registration order.
 func (r *Registry) WritePrometheus(w io.Writer) {
@@ -254,6 +365,8 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		switch {
 		case m.c != nil:
 			fmt.Fprintf(w, "%s %d\n", m.name, m.c.Value())
+		case m.fc != nil:
+			fmt.Fprintf(w, "%s %s\n", m.name, formatFloat(m.fc.Value()))
 		case m.g != nil:
 			fmt.Fprintf(w, "%s %s\n", m.name, formatFloat(m.g.Value()))
 		case m.gv != nil:
@@ -276,6 +389,25 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", m.name, m.h.Count())
 			fmt.Fprintf(w, "%s_sum %s\n", m.name, formatFloat(m.h.Sum()))
 			fmt.Fprintf(w, "%s_count %d\n", m.name, m.h.Count())
+		case m.hv != nil:
+			m.hv.mu.Lock()
+			keys := make([]string, 0, len(m.hv.vals))
+			for k := range m.hv.vals {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				h := m.hv.vals[k]
+				var cum uint64
+				for i, ub := range h.buckets {
+					cum += h.counts[i].Load()
+					fmt.Fprintf(w, "%s_bucket{%s=%q,le=%q} %d\n", m.name, m.hv.label, k, formatFloat(ub), cum)
+				}
+				fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", m.name, m.hv.label, k, h.Count())
+				fmt.Fprintf(w, "%s_sum{%s=%q} %s\n", m.name, m.hv.label, k, formatFloat(h.Sum()))
+				fmt.Fprintf(w, "%s_count{%s=%q} %d\n", m.name, m.hv.label, k, h.Count())
+			}
+			m.hv.mu.Unlock()
 		}
 	}
 }
@@ -303,6 +435,8 @@ func (r *Registry) snapshot() map[string]any {
 		switch {
 		case m.c != nil:
 			out[m.name] = m.c.Value()
+		case m.fc != nil:
+			out[m.name] = m.fc.Value()
 		case m.g != nil:
 			out[m.name] = m.g.Value()
 		case m.gv != nil:
@@ -315,6 +449,14 @@ func (r *Registry) snapshot() map[string]any {
 			out[m.name] = sub
 		case m.h != nil:
 			out[m.name] = map[string]any{"count": m.h.Count(), "sum": m.h.Sum()}
+		case m.hv != nil:
+			m.hv.mu.Lock()
+			sub := make(map[string]any, len(m.hv.vals))
+			for k, h := range m.hv.vals {
+				sub[k] = map[string]any{"count": h.Count(), "sum": h.Sum()}
+			}
+			m.hv.mu.Unlock()
+			out[m.name] = sub
 		}
 	}
 	return out
@@ -417,6 +559,27 @@ type Metrics struct {
 	// of warm-started solves (cold solves are visible through the journal's
 	// lambda_iters instead).
 	AllocWarmStartIters *Histogram
+
+	// EpochPhase observes the duration of each epoch flight-recorder phase
+	// (snapshot, fingerprint, solve, repair, push, journal, measure and the
+	// enclosing epoch), labelled by phase. Empty in simulation, like
+	// AllocLatency.
+	EpochPhase *HistogramVec
+	// SessionEnergy gauges each active session's cumulative attributed
+	// joules, labelled by instance.
+	SessionEnergy *GaugeVec
+	// EnergyTotal counts fleet joules attributed by this process (counter
+	// semantics: not rewound or pre-loaded on warm restart — recovered totals
+	// surface through the ledger and journal).
+	EnergyTotal *FloatCounter
+	// BudgetOverrunSeconds counts seconds the measured fleet power exceeded
+	// the epoch's power budget.
+	BudgetOverrunSeconds *FloatCounter
+	// TracerDropped counts events evicted from the tracer ring.
+	TracerDropped *Counter
+	// JournalErrors counts journal records lost to write errors (the first
+	// failing write and every record suppressed by the sticky error after it).
+	JournalErrors *Counter
 }
 
 // NewMetrics creates the standard instrument bundle on the registry.
@@ -455,5 +618,12 @@ func NewMetrics(r *Registry) *Metrics {
 		AllocCacheMisses:    r.Counter("harp_alloc_cache_misses_total", "Allocator solves that missed the solution cache."),
 		AllocCacheEvictions: r.Counter("harp_alloc_cache_evictions_total", "Cached allocator solutions evicted at capacity."),
 		AllocWarmStartIters: r.Histogram("harp_alloc_warm_start_iters", "Subgradient iterations to convergence for warm-started solves.", IterationBuckets),
+
+		EpochPhase:           r.HistogramVec("harp_epoch_phase_seconds", "Wall time per epoch flight-recorder phase.", "phase", LatencyBuckets),
+		SessionEnergy:        r.GaugeVec("harp_session_energy_joules", "Cumulative attributed energy per active session.", "instance"),
+		EnergyTotal:          r.FloatCounter("harp_energy_joules_total", "Fleet energy attributed by this process."),
+		BudgetOverrunSeconds: r.FloatCounter("harp_budget_overrun_seconds_total", "Seconds the measured fleet power exceeded the epoch power budget."),
+		TracerDropped:        r.Counter("harp_tracer_dropped_total", "Events evicted from the tracer ring."),
+		JournalErrors:        r.Counter("harp_journal_errors_total", "Journal records lost to write errors."),
 	}
 }

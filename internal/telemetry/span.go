@@ -1,0 +1,72 @@
+package telemetry
+
+import "time"
+
+// Phase labels for the epoch flight recorder: the spans the resource
+// manager, allocator and monitor open around each stage of an epoch. They
+// appear as nested "B"/"E" duration events in the Chrome trace and as the
+// `phase` label of the harp_epoch_phase_seconds histogram family.
+const (
+	// PhaseEpoch wraps one whole reallocation: every other phase nests
+	// inside it.
+	PhaseEpoch = "epoch"
+	// PhaseSnapshot covers building the allocator's input snapshot from the
+	// session set.
+	PhaseSnapshot = "snapshot"
+	// PhaseFingerprint covers hashing the solve inputs and the solution-cache
+	// lookup.
+	PhaseFingerprint = "fingerprint"
+	// PhaseSolve covers candidate construction and the Lagrangian subgradient
+	// iteration.
+	PhaseSolve = "solve"
+	// PhaseRepair covers the repair/rescue/improve passes and core
+	// assignment.
+	PhaseRepair = "repair"
+	// PhasePush covers pushing the epoch's changed decisions to sessions.
+	PhasePush = "push"
+	// PhaseJournal covers flushing the epoch record to the decision journal.
+	PhaseJournal = "journal"
+	// PhaseMeasure covers one monitor sampling tick (outside the epoch span:
+	// measurement feeds epochs, it is not part of one).
+	PhaseMeasure = "measure"
+)
+
+// Span is one open phase interval. It is a plain value struct so opening
+// and closing a span never allocates; the zero Span (returned by a nil
+// tracer) is a valid no-op whose End does nothing. Spans are timed on the
+// tracer's clock — virtual time in harpsim, where every span has zero
+// duration and the B/E events are still emitted deterministically.
+type Span struct {
+	t     *Tracer
+	h     *Histogram
+	phase string
+	start time.Duration
+}
+
+// BeginPhase opens a phase span: it emits an EvSpanBegin event and captures
+// the tracer-clock start time. The returned Span's End emits the matching
+// EvSpanEnd and observes the elapsed seconds into h (nil h skips the
+// histogram). A nil tracer returns the zero Span — no events, no
+// observation, no allocation.
+//
+// Spans emitted through one tracer must close in LIFO order for the Chrome
+// B/E nesting to be well-formed; every caller in this repository opens and
+// closes spans under the embedder's serialisation (the Manager's epoch body,
+// the monitor's tick), which guarantees it.
+func (t *Tracer) BeginPhase(phase string, h *Histogram) Span {
+	if t == nil {
+		return Span{}
+	}
+	start := t.emit(Event{Kind: EvSpanBegin, Stage: phase})
+	return Span{t: t, h: h, phase: phase, start: start}
+}
+
+// End closes the span: emits EvSpanEnd and observes the duration. No-op on
+// the zero Span.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	end := s.t.emit(Event{Kind: EvSpanEnd, Stage: s.phase})
+	s.h.Observe((end - s.start).Seconds())
+}

@@ -78,6 +78,11 @@ const (
 	// EvSessionRejected: a registration was refused by admission control
 	// (Stage carries the reason, e.g. "max-sessions").
 	EvSessionRejected
+	// EvSpanBegin: a flight-recorder phase opened (Stage = phase label).
+	// Rendered as a Chrome "B" duration event; see BeginPhase.
+	EvSpanBegin
+	// EvSpanEnd: the matching phase close ("E" duration event).
+	EvSpanEnd
 )
 
 // String implements fmt.Stringer.
@@ -117,6 +122,10 @@ func (k EventKind) String() string {
 		return "snapshot-written"
 	case EvSessionRejected:
 		return "session-rejected"
+	case EvSpanBegin:
+		return "span-begin"
+	case EvSpanEnd:
+		return "span-end"
 	default:
 		return "event(?)"
 	}
@@ -171,6 +180,7 @@ type Tracer struct {
 	buf   []Event
 	next  int
 	total uint64
+	drops *Counter
 }
 
 // NewTracer creates a tracer holding the last capacity events (<= 0 selects
@@ -214,6 +224,19 @@ func (t *Tracer) Now() time.Duration {
 	return now
 }
 
+// CountDrops binds a counter (typically harp_tracer_dropped_total) that is
+// incremented each time a full ring evicts an event, so consumers can alert
+// on trace gaps instead of discovering them via Dropped(). No-op on a nil
+// tracer or counter.
+func (t *Tracer) CountDrops(c *Counter) {
+	if t == nil || c == nil {
+		return
+	}
+	t.mu.Lock()
+	t.drops = c
+	t.mu.Unlock()
+}
+
 // Emit stamps the event with the tracer's clock and records it, evicting
 // the oldest event when the ring is full. No-op (and allocation-free) on a
 // nil tracer.
@@ -221,16 +244,25 @@ func (t *Tracer) Emit(ev Event) {
 	if t == nil {
 		return
 	}
+	t.emit(ev)
+}
+
+// emit is the non-nil core of Emit; it returns the stamped timestamp so
+// BeginPhase can capture the span start with a single lock acquisition.
+func (t *Tracer) emit(ev Event) time.Duration {
 	t.mu.Lock()
-	ev.At = t.clock()
+	at := t.clock()
+	ev.At = at
 	if len(t.buf) < cap(t.buf) {
 		t.buf = append(t.buf, ev)
 	} else {
 		t.buf[t.next] = ev
 		t.next = (t.next + 1) % len(t.buf)
+		t.drops.Inc()
 	}
 	t.total++
 	t.mu.Unlock()
+	return at
 }
 
 // Events returns a snapshot of the buffered events, oldest first.
