@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race bench bench-alloc bench-parallel trace-demo fuzz-smoke invariants invariants-long lint-metrics
+.PHONY: build test check race bench bench-alloc bench-parallel trace-demo fuzz-smoke invariants invariants-long lint-metrics soak
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,14 @@ invariants:
 # magnitude more seeded scenarios (20000 differential seeds per solver).
 invariants-long:
 	HARP_CHECK_LONG=1 $(MAKE) invariants
+
+# soak runs the overload suite plus the long overload soak (see
+# RESILIENCE.md, "Overload and the degradation ladder"): minutes of virtual
+# time under dense solver stalls, store outages and client churn, under the
+# race detector. CI runs this nightly; locally it finishes in seconds
+# (virtual clock).
+soak:
+	HARP_SOAK=1 $(GO) test -race -count=1 -v -run 'TestOverload' ./harpsim/
 
 # fuzz-smoke briefly runs each wire-protocol and durable-state fuzzer —
 # enough to catch framing regressions on every push without a dedicated

@@ -7,7 +7,7 @@
 //
 //	harpctl [-control /tmp/harpctl.sock] sessions
 //	harpctl [-control /tmp/harpctl.sock] status
-//	harpctl [-control /tmp/harpctl.sock] health
+//	harpctl [-control /tmp/harpctl.sock] health [-exit-code]
 //	harpctl [-control /tmp/harpctl.sock] top [-interval 2s] [-n 0]
 //	harpctl [-control /tmp/harpctl.sock] table <instance>
 //	harpctl [-control /tmp/harpctl.sock] trace tail [n]
@@ -15,6 +15,8 @@
 //
 // `health` prints the daemon's self-assessment (the same report harpd
 // serves at /healthz) and exits non-zero when the daemon is unhealthy.
+// With -exit-code the exit status encodes the grade for scripts and
+// probes: 0 ok, 1 degraded, 2 unhealthy.
 // `top` refreshes a per-session energy/efficiency view every -interval
 // (-n bounds the number of frames; 0 runs until interrupted).
 package main
@@ -31,14 +33,26 @@ import (
 	"time"
 )
 
-const usage = "usage: harpctl [-control PATH] sessions | status | health | top [-interval D] [-n N] | table <instance> | trace tail [n] | trace dump"
+const usage = "usage: harpctl [-control PATH] sessions | status | health [-exit-code] | top [-interval D] [-n N] | table <instance> | trace tail [n] | trace dump"
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
+		var ee exitError
+		if errors.As(err, &ee) {
+			// health -exit-code: the report is already printed; the status
+			// rides the exit code alone.
+			os.Exit(ee.code)
+		}
 		fmt.Fprintln(os.Stderr, "harpctl:", err)
 		os.Exit(1)
 	}
 }
+
+// exitError requests a specific process exit status without an error
+// message (the command already printed its report).
+type exitError struct{ code int }
+
+func (e exitError) Error() string { return fmt.Sprintf("exit status %d", e.code) }
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("harpctl", flag.ContinueOnError)
@@ -59,7 +73,15 @@ func run(args []string, out io.Writer) error {
 		req["op"] = "sessions"
 		render = renderStatus
 	case "health":
-		render = renderHealth
+		hfs := flag.NewFlagSet("harpctl health", flag.ContinueOnError)
+		exitCode := hfs.Bool("exit-code", false, "map the health grade to the exit status: 0 ok, 1 degraded, 2 unhealthy")
+		if err := hfs.Parse(rest[1:]); err != nil {
+			return err
+		}
+		req["op"] = "health"
+		render = func(out io.Writer, resp map[string]json.RawMessage) error {
+			return renderHealthMode(out, resp, *exitCode)
+		}
 	case "top":
 		return runTop(*controlPath, rest[1:], out)
 	case "table":
@@ -191,6 +213,22 @@ func renderStatus(out io.Writer, resp map[string]json.RawMessage) error {
 	if dropped > 0 {
 		fmt.Fprintf(out, "tracer dropped %d events\n", dropped)
 	}
+	// Overload surface: the degradation-ladder rung that resolved the last
+	// epoch, the sticky last epoch error, and durability-degraded storage.
+	var degradedRung, lastEpochErr string
+	var storeDegraded bool
+	_ = json.Unmarshal(resp["degraded_rung"], &degradedRung)
+	_ = json.Unmarshal(resp["last_epoch_error"], &lastEpochErr)
+	_ = json.Unmarshal(resp["store_degraded"], &storeDegraded)
+	if degradedRung != "" {
+		fmt.Fprintf(out, "last epoch DEGRADED via %s\n", degradedRung)
+	}
+	if lastEpochErr != "" {
+		fmt.Fprintf(out, "last epoch error: %s\n", lastEpochErr)
+	}
+	if storeDegraded {
+		fmt.Fprintln(out, "store DEGRADED: write retries exhausted, snapshots suspended")
+	}
 	if len(sessions) == 0 {
 		fmt.Fprintln(out, "no sessions")
 		return nil
@@ -290,6 +328,13 @@ type healthReport struct {
 // fails the command (exit 1) when the overall status is unhealthy, so
 // scripts can gate on it.
 func renderHealth(out io.Writer, resp map[string]json.RawMessage) error {
+	return renderHealthMode(out, resp, false)
+}
+
+// renderHealthMode is renderHealth with the -exit-code behaviour: the
+// grade maps onto the exit status (0 ok, 1 degraded, 2 unhealthy) instead
+// of only failing on unhealthy.
+func renderHealthMode(out io.Writer, resp map[string]json.RawMessage, exitCode bool) error {
 	var rep healthReport
 	if err := json.Unmarshal(resp["health"], &rep); err != nil {
 		return err
@@ -301,6 +346,15 @@ func renderHealth(out io.Writer, resp map[string]json.RawMessage) error {
 			line += "  (" + c.Detail + ")"
 		}
 		fmt.Fprintln(out, line)
+	}
+	if exitCode {
+		switch rep.Status {
+		case "degraded":
+			return exitError{code: 1}
+		case "unhealthy":
+			return exitError{code: 2}
+		}
+		return nil
 	}
 	if rep.Status == "unhealthy" {
 		return errors.New("daemon is unhealthy")
@@ -391,6 +445,16 @@ func renderTop(out io.Writer, resp map[string]json.RawMessage) error {
 		epochP99*1e3, 100*cache.HitRate, orDash(solveSource), dropped)
 	if journalErr != "" {
 		fmt.Fprintf(out, "journal ERROR: %s\n", journalErr)
+	}
+	var degradedRung string
+	var storeDegraded bool
+	_ = json.Unmarshal(resp["degraded_rung"], &degradedRung)
+	_ = json.Unmarshal(resp["store_degraded"], &storeDegraded)
+	if degradedRung != "" {
+		fmt.Fprintf(out, "DEGRADED: last epoch via %s\n", degradedRung)
+	}
+	if storeDegraded {
+		fmt.Fprintln(out, "store DEGRADED: snapshots suspended")
 	}
 	if len(sessions) == 0 {
 		fmt.Fprintln(out, "no sessions")

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"net"
 	"path/filepath"
 	"strings"
@@ -43,10 +44,13 @@ func fakeHarpd(t *testing.T) string {
 							"size": 2, "cap": 64, "hits": 17, "misses": 3,
 							"evictions": 1, "hit_rate": 0.85,
 						},
-						"solve_source":   "cached",
-						"tracer_dropped": 7,
-						"journal_error":  "disk full",
-						"epoch_p99_sec":  0.0021,
+						"solve_source":     "cached",
+						"tracer_dropped":   7,
+						"journal_error":    "disk full",
+						"last_epoch_error": "core: solver stalled past its deadline budget",
+						"degraded_rung":    "degraded-greedy",
+						"store_degraded":   true,
+						"epoch_p99_sec":    0.0021,
 						"energy": map[string]any{
 							"fleet_joules": 120.5, "fleet_utility_sec": 900.0,
 							"fleet_power_w": 37.5, "budget_w": 60.0,
@@ -157,7 +161,13 @@ func TestStatusShowsTelemetryHealth(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, want := range []string{"journal ERROR: disk full", "tracer dropped 7 events"} {
+	for _, want := range []string{
+		"journal ERROR: disk full",
+		"tracer dropped 7 events",
+		"last epoch DEGRADED via degraded-greedy",
+		"last epoch error: core: solver stalled past its deadline budget",
+		"store DEGRADED: write retries exhausted, snapshots suspended",
+	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("status output missing %q:\n%s", want, out)
 		}
@@ -196,6 +206,41 @@ func TestHealthUnhealthyFailsCommand(t *testing.T) {
 	}
 }
 
+// TestHealthExitCode maps the health grade onto the exit status with
+// -exit-code: 0 ok, 1 degraded, 2 unhealthy. The fake daemon reports
+// degraded, so the command fails with the code-1 sentinel.
+func TestHealthExitCode(t *testing.T) {
+	sock := fakeHarpd(t)
+	var buf bytes.Buffer
+	err := run([]string{"-control", sock, "health", "-exit-code"}, &buf)
+	var ee exitError
+	if !errors.As(err, &ee) || ee.code != 1 {
+		t.Fatalf("health -exit-code on a degraded daemon: err = %v, want exit code 1", err)
+	}
+	if !strings.Contains(buf.String(), "status: degraded") {
+		t.Errorf("report not printed before exiting:\n%s", buf.String())
+	}
+
+	// The grade-to-code map, exercised directly for all three grades.
+	for _, tc := range []struct {
+		status string
+		code   int
+	}{{"ok", 0}, {"degraded", 1}, {"unhealthy", 2}} {
+		raw, _ := json.Marshal(map[string]any{"status": tc.status, "checks": []map[string]any{}})
+		err := renderHealthMode(&bytes.Buffer{}, map[string]json.RawMessage{"health": raw}, true)
+		if tc.code == 0 {
+			if err != nil {
+				t.Errorf("status %s: err = %v, want nil", tc.status, err)
+			}
+			continue
+		}
+		var ee exitError
+		if !errors.As(err, &ee) || ee.code != tc.code {
+			t.Errorf("status %s: err = %v, want exit code %d", tc.status, err, tc.code)
+		}
+	}
+}
+
 func TestTopCommand(t *testing.T) {
 	sock := fakeHarpd(t)
 	var buf bytes.Buffer
@@ -208,6 +253,8 @@ func TestTopCommand(t *testing.T) {
 		"power 37.5W / budget 60.0W (headroom 22.5W, overrun 0.0s)  fleet 120.5J",
 		"epoch p99 2.10ms, cache hit rate 85.0%, last solve cached, tracer dropped 7",
 		"journal ERROR: disk full",
+		"DEGRADED: last epoch via degraded-greedy",
+		"store DEGRADED: snapshots suspended",
 		"ENERGY[J]", "EFF[u/J]",
 		"ep.C/1", "120.5", "7.469",
 		"cg.C/2", "quarantined",

@@ -10,7 +10,7 @@
 //	      [-suspect-after 1s -quarantine-after 3s -reap-after 10s] \
 //	      [-telemetry 127.0.0.1:9140] [-journal /var/log/harp/journal.jsonl] \
 //	      [-state-dir /var/lib/harp] [-max-sessions 64]
-//	      [-alloc-cache 64] [-alloc-warm-start=false]
+//	      [-alloc-cache 64] [-alloc-warm-start=false] [-epoch-budget 20ms]
 //
 // -liveness enables session health tracking (suspect → quarantine → reap,
 // see RESILIENCE.md); the three deadline flags tune it and imply -liveness on
@@ -81,6 +81,7 @@ func run(args []string) error {
 		maxSessions   = fs.Int("max-sessions", 0, "admission cap on concurrent sessions (0 = unlimited)")
 		allocCache    = fs.Int("alloc-cache", 0, "fingerprinted solution-cache capacity (0 = default, negative = off)")
 		allocWarm     = fs.Bool("alloc-warm-start", true, "seed each solve's subgradient iteration from the previous epoch's multipliers")
+		epochBudget   = fs.Duration("epoch-budget", 0, "deadline budget per epoch solve before the degradation ladder engages (0 = default, negative = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -124,6 +125,7 @@ func run(args []string) error {
 		MaxSessions:        *maxSessions,
 		AllocCacheSize:     *allocCache,
 		AllocWarmStart:     *allocWarm,
+		EpochBudget:        *epochBudget,
 	})
 	if err != nil {
 		return err
@@ -299,6 +301,15 @@ func (c *controlListener) handle(conn net.Conn) {
 		}
 		if err := c.srv.JournalError(); err != nil {
 			resp["journal_error"] = err.Error()
+		}
+		if msg := c.srv.LastEpochError(); msg != "" {
+			resp["last_epoch_error"] = msg
+		}
+		if rung := c.srv.DegradedRung(); rung != "" {
+			resp["degraded_rung"] = rung
+		}
+		if c.srv.StoreDegraded() {
+			resp["store_degraded"] = true
 		}
 		if mt := c.srv.Metrics(); mt != nil {
 			resp["epoch_p99_sec"] = mt.AllocLatency.Quantile(0.99)

@@ -302,7 +302,7 @@ func TestTelemetryMuxEndpoints(t *testing.T) {
 	for _, c := range rep.Checks {
 		names[c.Name] = true
 	}
-	for _, want := range []string{"measure-jitter", "journal", "tracer", "sessions", "store", "budget"} {
+	for _, want := range []string{"measure-jitter", "journal", "tracer", "sessions", "epochs", "store", "store-durability", "budget"} {
 		if !names[want] {
 			t.Errorf("/healthz missing check %q: %+v", want, rep.Checks)
 		}

@@ -63,8 +63,12 @@ type HealthReport struct {
 //   - tracer: ring evictions mean the flight recorder has holes — degraded.
 //   - sessions: quarantined sessions are being carried dead weight —
 //     degraded.
+//   - epochs: the most recent epoch was resolved by a degradation-ladder
+//     rung instead of a healthy solve — degraded.
 //   - store: corruption events survived recovery but cost records —
 //     degraded.
+//   - store-durability: the store exhausted its write retries and
+//     suspended snapshots (allocation continues undurably) — degraded.
 //   - budget: accumulated time over the epoch power budget — degraded.
 //
 // Checks whose subsystem is disabled (no metrics, no journal, no ledger)
@@ -122,12 +126,31 @@ func (s *Server) Health() HealthReport {
 		add("sessions", HealthOK, "")
 	}
 
+	if rung := s.mgr.DegradedRung(); rung != "" {
+		detail := rung
+		if msg := s.mgr.LastEpochError(); msg != "" {
+			detail = fmt.Sprintf("%s: %s", rung, msg)
+		}
+		add("epochs", HealthDegraded, detail)
+	} else {
+		add("epochs", HealthOK, "")
+	}
+
 	if rec, ok := s.StoreRecovery(); ok && rec.Corruptions > 0 {
 		add("store", HealthDegraded, fmt.Sprintf("%d corruption events at recovery", rec.Corruptions))
 	} else if !ok {
 		add("store", HealthOK, "disabled")
 	} else {
 		add("store", HealthOK, "")
+	}
+
+	if s.store == nil {
+		add("store-durability", HealthOK, "disabled")
+	} else if s.store.Degraded() {
+		add("store-durability", HealthDegraded,
+			"write retries exhausted; snapshots suspended, allocation continues undurably")
+	} else {
+		add("store-durability", HealthOK, "")
 	}
 
 	if s.cfg.Energy != nil {

@@ -105,6 +105,12 @@ type ServerConfig struct {
 	// previous epoch's λ vector (fewer iterations on perturbed inputs; see
 	// PERFORMANCE.md). Ignored when Allocator is set.
 	AllocWarmStart bool
+	// EpochBudget bounds each epoch's solve on the wall clock: past the
+	// budget the subgradient loop cuts off early and, if the solve still
+	// cannot complete, the manager walks the degradation ladder (see
+	// RESILIENCE.md, "Overload and the degradation ladder"). 0 selects
+	// core.DefaultEpochBudget; negative disables the deadline.
+	EpochBudget time.Duration
 }
 
 // LoadPlatform resolves a platform: a built-in name ("intel", "odroid", …)
@@ -204,7 +210,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	var st *store.Store
 	if cfg.StateDir != "" {
 		var err error
-		st, err = store.Open(cfg.StateDir, store.Options{Metrics: cfg.Metrics})
+		st, err = store.Open(cfg.StateDir, store.Options{Metrics: cfg.Metrics, Tracer: cfg.Tracer})
 		if err != nil {
 			return nil, fmt.Errorf("harp: open state dir: %w", err)
 		}
@@ -228,6 +234,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		MaxSessions:        cfg.MaxSessions,
 		AllocCacheSize:     cfg.AllocCacheSize,
 		AllocWarmStart:     cfg.AllocWarmStart,
+		EpochBudget:        cfg.EpochBudget,
 		LatencyClock:       func() time.Duration { return time.Since(start) },
 	}
 	if st != nil {
@@ -419,11 +426,38 @@ func (s *Server) AllocCacheStats() alloc.CacheStats {
 }
 
 // LastSolveSource reports where the most recent epoch's allocation came
-// from: "cold", "warm" or "cached" (empty before the first solve).
+// from: "cold", "warm", "cached" or a degradation-ladder rung (empty
+// before the first solve).
 func (s *Server) LastSolveSource() string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.mgr.LastSolveSource()
+}
+
+// LastEpochError returns the sticky message of the most recent failed or
+// degraded epoch (empty while every epoch has been healthy).
+func (s *Server) LastEpochError() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mgr.LastEpochError()
+}
+
+// DegradedRung returns the degradation-ladder rung that resolved the most
+// recent epoch (empty when the last solve was healthy).
+func (s *Server) DegradedRung() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mgr.DegradedRung()
+}
+
+// StoreDegraded reports whether the durable-state store has exhausted its
+// write retries and entered durability-degraded mode (always false without
+// a StateDir).
+func (s *Server) StoreDegraded() bool {
+	if s.store == nil {
+		return false
+	}
+	return s.store.Degraded()
 }
 
 // StoreRecovery reports how the state directory was recovered at startup.

@@ -210,7 +210,7 @@ func attachHARP(machine *sim.Machine, sc Scenario, opts Options) (*harpHarness, 
 	cfg := coreCfg
 	if opts.StateDir != "" {
 		var err error
-		st, err = store.Open(opts.StateDir, store.Options{Metrics: opts.Metrics})
+		st, err = store.Open(opts.StateDir, store.Options{Metrics: opts.Metrics, Tracer: opts.Tracer})
 		if err != nil {
 			return nil, fmt.Errorf("harpsim: open state dir: %w", err)
 		}
@@ -441,8 +441,20 @@ func (h *harpHarness) measureTick(now time.Duration) {
 // one measure interval.
 func (h *harpHarness) injectFaults(now time.Duration) {
 	for _, f := range h.faults.Due(now) {
-		if f.Kind == faultsim.KindRMCrash {
+		switch f.Kind {
+		case faultsim.KindRMCrash:
 			h.restartRM(now)
+			continue
+		case faultsim.KindSolverStall:
+			// The stall duration maps onto a count of skipped primary
+			// solves — one per measure tick — so the injection is
+			// deterministic on the virtual clock (no wall time involved).
+			h.mgr.ForceDegradedSolves(h.faultTicks(f.Duration))
+			continue
+		case faultsim.KindStoreIO:
+			if h.st != nil {
+				h.st.InjectIOFaults(h.faultTicks(f.Duration))
+			}
 			continue
 		}
 		p, ok := h.managed[f.Target]
@@ -462,6 +474,16 @@ func (h *harpHarness) injectFaults(now time.Duration) {
 	}
 }
 
+// faultTicks converts an RM-fault duration into a count of measure ticks
+// (minimum one): how many solves or writes the fault covers.
+func (h *harpHarness) faultTicks(d time.Duration) int {
+	n := int(d / h.opts.MeasureEvery)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
 // restartRM simulates kill -9 of the resource manager followed by an
 // immediate restart: the store is closed without a final snapshot (WAL only,
 // exactly the crash the durable layer exists for), reopened, and a fresh
@@ -472,7 +494,7 @@ func (h *harpHarness) restartRM(now time.Duration) {
 	cfg := h.coreCfg
 	if h.st != nil {
 		_ = h.st.Close() // crash: no snapshot
-		st, err := store.Open(h.opts.StateDir, store.Options{Metrics: h.opts.Metrics})
+		st, err := store.Open(h.opts.StateDir, store.Options{Metrics: h.opts.Metrics, Tracer: h.opts.Tracer})
 		if err != nil {
 			return // state dir unusable: keep the old RM running
 		}

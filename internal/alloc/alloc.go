@@ -104,6 +104,11 @@ type Allocator struct {
 	prevLambda []float64
 	havePrev   bool
 
+	// overBudget, when set, is polled between subgradient iterations; a
+	// true return cuts the λ loop off early (repair still makes the
+	// partial selection feasible). See SetOverBudget.
+	overBudget func() bool
+
 	// Flight-recorder phase histograms, resolved once in New so the hot path
 	// never touches the HistogramVec map (nil when metrics are off — the
 	// span API is nil-safe).
@@ -197,6 +202,13 @@ func WithMetrics(m *telemetry.Metrics) Option {
 	return optionFunc(func(a *Allocator) { a.metrics = m })
 }
 
+// SetOverBudget installs the deadline probe for the degradation ladder's
+// rung 1: between subgradient iterations the solver polls check and stops
+// early when it returns true, keeping the current selection (repair makes
+// it feasible, so the result is valid — just less converged). At least one
+// iteration always runs. A nil check removes the probe.
+func (a *Allocator) SetOverBudget(check func() bool) { a.overBudget = check }
+
 // New creates an allocator for the platform.
 func New(plat *platform.Platform, opts ...Option) (*Allocator, error) {
 	if err := plat.Validate(); err != nil {
@@ -254,6 +266,21 @@ const (
 	SourceWarm = "warm"
 	// SourceCached is a solution served from the fingerprint cache.
 	SourceCached = "cached"
+
+	// The remaining sources are degradation-ladder rungs, produced by
+	// core.Manager (not this package's solver) when the primary solve
+	// fails or exceeds its deadline budget; they are declared here so the
+	// journal vocabulary for SolveSource lives in one place.
+
+	// SourceDegradedGreedy is a greedy fallback solve after the primary
+	// solve failed (ladder rung 2).
+	SourceDegradedGreedy = "degraded-greedy"
+	// SourceDegradedStale is the last-known-good allocation replayed
+	// (ladder rung 3).
+	SourceDegradedStale = "degraded-stale"
+	// SourceFrozen is an epoch that pushed nothing because no usable
+	// allocation existed (ladder rung 4).
+	SourceFrozen = "frozen"
 )
 
 // Stats summarises one solver run for the telemetry layer.
@@ -609,6 +636,13 @@ func (a *Allocator) lagrangianSelect(states []*appState, capacity []int, warm []
 	demand := s.demand
 	iters := a.iters
 	for it := 0; it < a.iters; it++ {
+		if it > 0 && a.overBudget != nil && a.overBudget() {
+			// Deadline cutoff (degradation-ladder rung 1): keep the
+			// selection from the previous iteration rather than miss the
+			// epoch's budget chasing convergence.
+			iters = it
+			break
+		}
 		for k := range demand {
 			demand[k] = 0
 		}

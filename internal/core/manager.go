@@ -30,6 +30,12 @@ import (
 // allocation reassessments (§5.3: every 100 measurements).
 const DefaultReallocEvery = 100
 
+// DefaultEpochBudget is the default per-solve deadline budget: a fraction
+// of the 50 ms adaptation tick, leaving headroom for the push and journal
+// phases. Enforced only when Config.LatencyClock is wired (live servers);
+// simulated runs have no wall deadline and rely on the error/stall rungs.
+const DefaultEpochBudget = 20 * time.Millisecond
+
 // Common errors.
 var (
 	// ErrUnknownSession is returned for operations on unregistered
@@ -38,6 +44,10 @@ var (
 	// ErrDuplicateSession is returned when an instance registers twice.
 	ErrDuplicateSession = errors.New("core: session already registered")
 )
+
+// errSolverStalled stands in for the primary solver when an injected or
+// detected stall skips it (degradation-ladder entry).
+var errSolverStalled = errors.New("core: solver stalled past its deadline budget")
 
 // Decision is one allocation pushed to an application (§4.1.1 step 3).
 type Decision struct {
@@ -155,6 +165,16 @@ type Config struct {
 	// fewer iterations but are not guaranteed bit-identical to cold solves,
 	// so this is opt-in. Ignored when Allocator is set.
 	AllocWarmStart bool
+	// EpochBudget is the per-solve deadline for the degradation ladder:
+	// the default allocator's subgradient loop cuts off early when the
+	// budget is exceeded, and a solve that cannot produce a result at all
+	// falls to the cheaper rungs (greedy fallback, last-known-good,
+	// frozen). Wall-clock enforcement requires LatencyClock; 0 selects
+	// DefaultEpochBudget, negative disables the deadline (the error, stall
+	// and panic rungs stay active). With a custom Allocator the greedy
+	// fallback rung is unavailable and solver errors keep their fail-fast
+	// semantics — the indirection exists so tests can observe error epochs.
+	EpochBudget time.Duration
 }
 
 type session struct {
@@ -219,6 +239,21 @@ type Manager struct {
 	snapshotHist *telemetry.Histogram
 	pushHist     *telemetry.Histogram
 	journalHist  *telemetry.Histogram
+
+	// Degradation-ladder state (see solveWithLadder). fallback is the
+	// greedy rung-2 solver, built only alongside the default allocator;
+	// lastGood is a clone of the most recent healthy solve's allocations;
+	// forceDegraded counts pending injected solver stalls; lastEpochErr is
+	// the sticky message of the last failed or degraded epoch; lastRung is
+	// the rung that resolved the most recent epoch ("" = healthy); the
+	// deadline pair arms the allocator's over-budget probe per solve.
+	fallback      Allocator
+	lastGood      []alloc.Allocation
+	forceDegraded int
+	lastEpochErr  string
+	lastRung      string
+	deadlineAt    time.Duration
+	deadlineArmed bool
 }
 
 // NewManager creates a resource manager.
@@ -235,6 +270,7 @@ func NewManager(cfg Config) (*Manager, error) {
 			cfg.Platform.Name)
 	}
 	allocator := cfg.Allocator
+	var fallback Allocator
 	if allocator == nil {
 		cacheSize := cfg.AllocCacheSize
 		if cacheSize == 0 {
@@ -250,6 +286,13 @@ func NewManager(cfg Config) (*Manager, error) {
 		if err != nil {
 			return nil, err
 		}
+		// The rung-2 fallback: a bare greedy solver with no cache or warm
+		// state, so a degraded epoch never perturbs the primary solver's
+		// memo and unfaulted runs stay byte-identical.
+		fallback, err = alloc.New(cfg.Platform, alloc.WithMethod(alloc.Greedy))
+		if err != nil {
+			return nil, err
+		}
 	}
 	if cfg.Explore.Tracer == nil {
 		cfg.Explore.Tracer = cfg.Tracer
@@ -260,12 +303,23 @@ func NewManager(cfg Config) (*Manager, error) {
 	if cfg.ReallocEvery < 1 {
 		return nil, fmt.Errorf("core: realloc cadence %d", cfg.ReallocEvery)
 	}
+	if cfg.EpochBudget == 0 {
+		cfg.EpochBudget = DefaultEpochBudget
+	}
 	m := &Manager{
 		cfg:       cfg,
 		allocator: allocator,
+		fallback:  fallback,
 		sessions:  make(map[string]*session),
 		explorers: make(map[string]*explore.Explorer),
 		ended:     make(map[string]struct{}),
+	}
+	if cfg.LatencyClock != nil && cfg.EpochBudget > 0 {
+		if da, ok := allocator.(interface{ SetOverBudget(func() bool) }); ok {
+			da.SetOverBudget(func() bool {
+				return m.deadlineArmed && m.cfg.LatencyClock() > m.deadlineAt
+			})
+		}
 	}
 	if mt := cfg.Metrics; mt != nil {
 		m.epochHist = mt.EpochPhase.With(telemetry.PhaseEpoch)
@@ -681,19 +735,29 @@ func (m *Manager) reallocate(trigger string) error {
 	snap.End()
 	var allocs []alloc.Allocation
 	var stats alloc.Stats
+	staleOnly := false
 	if len(inputs) > 0 {
-		var err error
-		allocs, stats, err = m.allocator.AllocateWithStats(inputs)
+		sr := m.solveWithLadder(inputs)
+		if sr.hardErr != nil {
+			// Custom-allocator fail-fast semantics: the solve failure pushes
+			// nothing — every session keeps its standing decision — and is
+			// journalled as an error epoch so operators see the gap in the
+			// decision stream instead of a silently missing epoch.
+			m.recordEpochError(trigger, sr.hardErr)
+			return fmt.Errorf("core: allocate: %w", sr.hardErr)
+		}
+		if sr.frozen {
+			// Ladder rung 4: no usable allocation exists at all. Standing
+			// decisions stay frozen (pushing zeros would strand running
+			// applications for a transient solver fault) and the epoch
+			// records the gap.
+			m.lastSolveSource = alloc.SourceFrozen
+			m.recordEpochWith(trigger, 0, alloc.SourceFrozen, sr.errMsg)
+			return nil
+		}
+		allocs, stats, staleOnly = sr.allocs, sr.stats, sr.stale
 		if stats.Source != "" {
 			m.lastSolveSource = stats.Source
-		}
-		if err != nil {
-			// A failed solve pushes nothing — every session keeps its standing
-			// decision — but the failure itself is journalled as an error
-			// epoch so operators see the gap in the decision stream instead
-			// of a silently missing epoch.
-			m.recordEpochError(trigger, err)
-			return fmt.Errorf("core: allocate: %w", err)
 		}
 	}
 	pushSpan := m.cfg.Tracer.BeginPhase(telemetry.PhasePush, m.pushHist)
@@ -745,21 +809,14 @@ func (m *Manager) reallocate(trigger string) error {
 			m.pushParked(s)
 			continue
 		}
-		al := byID[id]
-		if m.exploring(s) && !s.coAllocated {
-			m.setExplorationPool(s, al, free, len(exploring))
-			if err := m.startExploration(s); err != nil {
-				// Nothing left to explore within the bound; run the base
-				// allocation as-is.
-				s.explorer.Abort()
-				m.pushBase(s, al)
-			}
+		al, ok := byID[id]
+		if !ok && staleOnly {
+			// Stale replay (ladder rung 3): sessions absent from the
+			// last-known-good allocation keep their standing decision
+			// rather than being pushed to zero.
 			continue
 		}
-		s.explorer.Abort()
-		s.pool = nil
-		s.bound = nil
-		m.pushBase(s, al)
+		m.pushSession(s, al, free, len(exploring))
 	}
 	pushSpan.End()
 
@@ -776,9 +833,252 @@ func (m *Manager) reallocate(trigger string) error {
 	return nil
 }
 
+// solveResult is one epoch's outcome from the degradation ladder.
+type solveResult struct {
+	allocs []alloc.Allocation
+	stats  alloc.Stats
+	// stale marks a rung-3 replay: sessions missing from allocs keep their
+	// standing decisions instead of being pushed to zero.
+	stale bool
+	// frozen marks rung 4: nothing usable, push no decisions at all.
+	frozen bool
+	// errMsg is the triggering failure, journalled on frozen epochs.
+	errMsg string
+	// hardErr carries a custom-allocator solve error through unchanged
+	// (fail-fast semantics; no fallback rungs apply).
+	hardErr error
+}
+
+// solveWithLadder runs the epoch's solve through the degradation ladder:
+//
+//  1. the deadline-bounded primary solve (the subgradient loop cuts off
+//     early when EpochBudget is exceeded on the LatencyClock);
+//  2. a greedy fallback solve when the primary errors, panics or stalls;
+//  3. the last-known-good allocation replayed;
+//  4. pushes frozen entirely.
+//
+// Rungs 2–4 are journalled via Stats.Source, counted per rung in
+// harp_epoch_degraded_total and traced as EvEpochDegraded. A panicking
+// solve additionally quarantines the session whose inputs reproduce the
+// panic (poisonous-table isolation) before falling down the ladder.
+func (m *Manager) solveWithLadder(inputs []alloc.AppInput) solveResult {
+	var cause error
+	if m.forceDegraded > 0 {
+		// An injected stall skips the primary solve outright, exactly as a
+		// wedged solver would look from the epoch loop's side.
+		m.forceDegraded--
+		cause = errSolverStalled
+	} else {
+		allocs, stats, pv, err := m.solvePrimary(inputs)
+		switch {
+		case pv != nil:
+			inputs = m.quarantinePanicking(inputs, pv)
+			cause = fmt.Errorf("core: solver panic: %s", truncatePanic(pv))
+		case err == nil:
+			m.lastRung = ""
+			m.lastGood = cloneAllocs(allocs)
+			return solveResult{allocs: allocs, stats: stats}
+		case m.fallback == nil:
+			// Custom allocators keep their fail-fast error contract.
+			return solveResult{hardErr: err}
+		default:
+			cause = err
+		}
+	}
+
+	// Rung 2: greedy fallback. Cheap, deterministic, and independent of
+	// the primary solver's cache and warm state.
+	if m.fallback != nil {
+		if allocs, stats, pv, err := m.runAllocator(m.fallback, inputs); err == nil && pv == nil {
+			stats.Source = alloc.SourceDegradedGreedy
+			stats.LambdaIters = 0
+			m.markRung(alloc.SourceDegradedGreedy, cause)
+			m.lastGood = cloneAllocs(allocs)
+			return solveResult{allocs: allocs, stats: stats}
+		}
+	}
+
+	// Rung 3: replay the last-known-good allocation.
+	if len(m.lastGood) > 0 {
+		m.markRung(alloc.SourceDegradedStale, cause)
+		return solveResult{
+			allocs: cloneAllocs(m.lastGood),
+			stats:  alloc.Stats{Source: alloc.SourceDegradedStale},
+			stale:  true,
+		}
+	}
+
+	// Rung 4: freeze.
+	m.markRung(alloc.SourceFrozen, cause)
+	return solveResult{frozen: true, errMsg: cause.Error()}
+}
+
+// solvePrimary runs the primary allocator with the epoch deadline armed
+// and panic containment on.
+func (m *Manager) solvePrimary(inputs []alloc.AppInput) ([]alloc.Allocation, alloc.Stats, any, error) {
+	if m.cfg.LatencyClock != nil && m.cfg.EpochBudget > 0 {
+		m.deadlineAt = m.cfg.LatencyClock() + m.cfg.EpochBudget
+		m.deadlineArmed = true
+		defer func() { m.deadlineArmed = false }()
+	}
+	return m.runAllocator(m.allocator, inputs)
+}
+
+// runAllocator invokes one solver with panic containment; panicked is the
+// recovered panic value (nil when the solve returned normally).
+func (m *Manager) runAllocator(a Allocator, inputs []alloc.AppInput) (allocs []alloc.Allocation, stats alloc.Stats, panicked any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			allocs, stats, err = nil, alloc.Stats{}, nil
+			panicked = r
+		}
+	}()
+	allocs, stats, err = a.AllocateWithStats(inputs)
+	return
+}
+
+// quarantinePanicking attributes a solve panic by probing each input alone
+// against the primary solver, quarantines the offenders, and returns the
+// surviving inputs. When no single input reproduces the panic (an
+// interaction, or a non-deterministic fault) the inputs are returned
+// unchanged and the ladder handles the epoch without isolation.
+func (m *Manager) quarantinePanicking(inputs []alloc.AppInput, pv any) []alloc.AppInput {
+	survivors := make([]alloc.AppInput, 0, len(inputs))
+	poisonous := false
+	for _, in := range inputs {
+		if _, _, probePV, _ := m.runAllocator(m.allocator, []alloc.AppInput{in}); probePV != nil {
+			m.quarantineForPanic(in.ID, probePV)
+			poisonous = true
+			continue
+		}
+		survivors = append(survivors, in)
+	}
+	if !poisonous {
+		return inputs
+	}
+	return survivors
+}
+
+// quarantineForPanic moves a session into quarantine without triggering a
+// nested reallocation — the surrounding epoch parks it in its own push
+// phase, exactly like a liveness quarantine.
+func (m *Manager) quarantineForPanic(instance string, pv any) {
+	s, ok := m.sessions[instance]
+	if !ok || s.liveness == LivenessQuarantined {
+		return
+	}
+	s.liveness = LivenessQuarantined
+	s.explorer.Abort()
+	s.stableMeasurements = 0
+	m.cfg.Tracer.Emit(telemetry.Event{
+		Kind:     telemetry.EvSessionPanicked,
+		Instance: instance,
+		App:      s.app,
+		Stage:    truncatePanic(pv),
+	})
+	if mt := m.cfg.Metrics; mt != nil {
+		mt.SessionsQuarantined.Inc()
+	}
+	m.updateLiveGauge()
+}
+
+// markRung accounts one degraded epoch: the rung counter, the epoch
+// failure counter, the sticky error surfaces and an EvEpochDegraded trace
+// event.
+func (m *Manager) markRung(rung string, cause error) {
+	m.lastRung = rung
+	m.lastEpochErr = cause.Error()
+	if mt := m.cfg.Metrics; mt != nil {
+		mt.EpochFailures.Inc()
+		mt.EpochDegraded.With(rung).Inc()
+	}
+	m.cfg.Tracer.Emit(telemetry.Event{
+		Kind:  telemetry.EvEpochDegraded,
+		Stage: rung,
+	})
+}
+
+// cloneAllocs deep-copies an allocation set. Cache hits share slices with
+// the allocator's cache, and the last-known-good copy must outlive any
+// churn there.
+func cloneAllocs(in []alloc.Allocation) []alloc.Allocation {
+	out := make([]alloc.Allocation, len(in))
+	for i, al := range in {
+		out[i] = al
+		out[i].Grants = append([]alloc.CoreGrant(nil), al.Grants...)
+	}
+	return out
+}
+
+// truncatePanic renders a recovered panic value bounded for trace and
+// status surfaces.
+func truncatePanic(pv any) string {
+	s := fmt.Sprintf("%v", pv)
+	const max = 120
+	if len(s) > max {
+		s = s[:max] + "…"
+	}
+	return s
+}
+
+// pushSession pushes one session's epoch outcome with panic containment:
+// a session whose table or decision path panics is quarantined
+// (poisonous-table isolation) and parked, instead of the panic killing
+// the epoch loop and every other session with it.
+func (m *Manager) pushSession(s *session, al alloc.Allocation, free map[platform.KindID][]int, nExploring int) {
+	defer func() {
+		if r := recover(); r != nil {
+			m.quarantineForPanic(s.instance, r)
+			func() {
+				defer func() {
+					if recover() != nil {
+						// Even the parked push panicked; drop the standing
+						// decision so the session cannot hold ghost grants.
+						s.last = nil
+					}
+				}()
+				m.pushParked(s)
+			}()
+		}
+	}()
+	if m.exploring(s) && !s.coAllocated {
+		m.setExplorationPool(s, al, free, nExploring)
+		if err := m.startExploration(s); err != nil {
+			// Nothing left to explore within the bound; run the base
+			// allocation as-is.
+			s.explorer.Abort()
+			m.pushBase(s, al)
+		}
+		return
+	}
+	s.explorer.Abort()
+	s.pool = nil
+	s.bound = nil
+	m.pushBase(s, al)
+}
+
+// ForceDegradedSolves makes the next n reallocation epochs skip the
+// primary solver as if it had stalled past its deadline, walking the
+// degradation ladder instead. Count-based and clock-free, so harpsim's
+// solver-stall faults reproduce bit-identically on the virtual clock.
+func (m *Manager) ForceDegradedSolves(n int) {
+	if n > 0 {
+		m.forceDegraded += n
+	}
+}
+
+// LastEpochError returns the sticky message of the most recent failed or
+// degraded epoch (empty while every epoch has been healthy).
+func (m *Manager) LastEpochError() string { return m.lastEpochErr }
+
+// DegradedRung returns the degradation-ladder rung that resolved the most
+// recent epoch (alloc.SourceDegradedGreedy, SourceDegradedStale or
+// SourceFrozen; empty when the last solve was healthy).
+func (m *Manager) DegradedRung() string { return m.lastRung }
+
 // LastSolveSource reports where the most recent epoch's solution came from
-// (alloc.SourceCold, alloc.SourceWarm or alloc.SourceCached; empty before
-// the first solve).
+// (alloc.SourceCold, alloc.SourceWarm, alloc.SourceCached or a
+// degradation-ladder rung; empty before the first solve).
 func (m *Manager) LastSolveSource() string { return m.lastSolveSource }
 
 // AllocCacheStats reports the allocator's solution-cache accounting, or the

@@ -46,6 +46,15 @@ const (
 	// like libharp's auto-reconnect: live ones re-register immediately,
 	// muted ones when their own fault lifts.
 	KindRMCrash Kind = "rm-crash"
+	// KindSolverStall stalls the RM's primary MMKP solver for Duration
+	// (target must be RMTarget): every epoch in the window exceeds its
+	// deadline budget and must recover through the degradation ladder.
+	KindSolverStall Kind = "solver-stall"
+	// KindStoreIO makes the RM's durable-state writes fail transiently for
+	// Duration (target must be RMTarget), exercising the store's
+	// retry/backoff path and, when retries exhaust, durability-degraded
+	// mode.
+	KindStoreIO Kind = "store-io"
 )
 
 // RMTarget is the Fault.Target naming the resource manager itself, the
@@ -55,7 +64,8 @@ const RMTarget = "rm"
 // Valid reports whether k is a known failure mode.
 func (k Kind) Valid() bool {
 	switch k {
-	case KindCrash, KindHang, KindDropout, KindSlowReader, KindDisconnect, KindDelayWrites, KindRMCrash:
+	case KindCrash, KindHang, KindDropout, KindSlowReader, KindDisconnect, KindDelayWrites,
+		KindRMCrash, KindSolverStall, KindStoreIO:
 		return true
 	}
 	return false
@@ -64,7 +74,17 @@ func (k Kind) Valid() bool {
 // Timed reports whether the kind carries a meaningful Duration.
 func (k Kind) Timed() bool {
 	switch k {
-	case KindHang, KindDropout, KindSlowReader, KindDelayWrites:
+	case KindHang, KindDropout, KindSlowReader, KindDelayWrites, KindSolverStall, KindStoreIO:
+		return true
+	}
+	return false
+}
+
+// RMKind reports whether the kind targets the resource manager itself
+// (Target must be RMTarget) rather than an application instance.
+func (k Kind) RMKind() bool {
+	switch k {
+	case KindRMCrash, KindSolverStall, KindStoreIO:
 		return true
 	}
 	return false
@@ -74,9 +94,10 @@ func (k Kind) Timed() bool {
 // model (no real sockets there).
 func SimKinds() []Kind { return []Kind{KindCrash, KindHang, KindDropout} }
 
-// AllKinds lists every client-side failure mode. KindRMCrash is excluded:
-// it targets the RM, not an application instance, so it is scheduled by hand
-// (Generate assigns application targets).
+// AllKinds lists every client-side failure mode. The RM-targeted kinds
+// (rm-crash, solver-stall, store-io) are excluded: they hit the RM, not an
+// application instance, so they are scheduled by hand (Generate assigns
+// application targets).
 func AllKinds() []Kind {
 	return []Kind{KindCrash, KindHang, KindDropout, KindSlowReader, KindDisconnect, KindDelayWrites}
 }
@@ -165,8 +186,8 @@ func (p *Plan) Validate() error {
 		if f.Kind.Timed() && f.Duration == 0 {
 			return fmt.Errorf("faultsim: fault %d: %s without duration", i, f.Kind)
 		}
-		if f.Kind == KindRMCrash && f.Target != RMTarget {
-			return fmt.Errorf("faultsim: fault %d: rm-crash must target %q, got %q", i, RMTarget, f.Target)
+		if f.Kind.RMKind() && f.Target != RMTarget {
+			return fmt.Errorf("faultsim: fault %d: %s must target %q, got %q", i, f.Kind, RMTarget, f.Target)
 		}
 		if f.At < prev {
 			return fmt.Errorf("faultsim: fault %d: out of order (%v after %v)", i, f.At, prev)

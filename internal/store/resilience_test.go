@@ -1,0 +1,138 @@
+package store
+
+import (
+	"testing"
+	"time"
+
+	"github.com/harp-rm/harp/internal/telemetry"
+)
+
+// openQuiet opens a store with backoff sleeps disabled and a metrics bundle
+// attached, so retry tests run instantly and can assert the counters.
+func openQuiet(t *testing.T, dir string) (*Store, *telemetry.Metrics) {
+	t.Helper()
+	mt := telemetry.NewMetrics(telemetry.NewRegistry())
+	s, err := Open(dir, Options{Metrics: mt})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	s.sleep = func(time.Duration) {}
+	return s, mt
+}
+
+func TestRetryAbsorbsTransientWriteFaults(t *testing.T) {
+	dir := t.TempDir()
+	s, mt := openQuiet(t, dir)
+
+	// Two injected faults sit inside one append's four attempts: the write
+	// succeeds on the third try, counts two retries, and never degrades.
+	s.InjectIOFaults(2)
+	if err := s.Append(Record{Kind: RecRegister, Instance: "ep/1", App: "ep", Seq: 1}); err != nil {
+		t.Fatalf("Append under transient faults: %v", err)
+	}
+	if got := mt.StoreRetries.Value(); got != 2 {
+		t.Errorf("harp_store_retries_total = %d, want 2", got)
+	}
+	if s.Degraded() {
+		t.Error("store degraded after an absorbed transient fault")
+	}
+	if err := s.Err(); err != nil {
+		t.Errorf("sticky error after absorbed fault: %v", err)
+	}
+	s.Close()
+
+	// The rewound-and-retried record must replay cleanly: no interleaved
+	// garbage from the failed attempts.
+	s2, _ := openQuiet(t, dir)
+	defer s2.Close()
+	rec := s2.Recovery()
+	if rec.WALRecords != 1 || rec.Corruptions != 0 {
+		t.Fatalf("recovery after retried write = %+v, want 1 clean record", rec)
+	}
+}
+
+func TestWriteExhaustionEntersDegradedModeAndHeals(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openQuiet(t, dir)
+	defer s.Close()
+	tr := telemetry.NewTracer(16)
+	s.tracer = tr
+
+	// Four faults exhaust one append's attempts: the store enters
+	// durability-degraded mode but the call returns (allocation goes on).
+	s.InjectIOFaults(writeAttempts)
+	if err := s.Append(Record{Kind: RecRegister, Instance: "ep/1", App: "ep", Seq: 1}); err == nil {
+		t.Fatal("Append with exhausted retries returned nil")
+	}
+	if !s.Degraded() {
+		t.Fatal("store not degraded after retry exhaustion")
+	}
+
+	// Snapshots are suspended while degraded: the call is a silent no-op
+	// so the epoch loop never blocks on the broken disk.
+	if err := s.WriteSnapshot(&State{Seq: 1}); err != nil {
+		t.Fatalf("WriteSnapshot while degraded: %v", err)
+	}
+	if s.Recovery().ColdStart != true {
+		t.Fatalf("recovery = %+v", s.Recovery())
+	}
+
+	// The disk recovers: the next successful append heals the store.
+	if err := s.Append(Record{Kind: RecPhase, Instance: "ep/1", Phase: "solve", Seq: 2}); err != nil {
+		t.Fatalf("Append after fault cleared: %v", err)
+	}
+	if s.Degraded() {
+		t.Error("store still degraded after a successful write")
+	}
+	if err := s.WriteSnapshot(&State{Seq: 2}); err != nil {
+		t.Fatalf("WriteSnapshot after healing: %v", err)
+	}
+
+	// Both transitions traced, once each: degraded on exhaustion, healed on
+	// the first successful write afterwards.
+	var stages []string
+	for _, ev := range tr.Events() {
+		if ev.Kind == telemetry.EvStoreDegraded {
+			stages = append(stages, ev.Stage)
+		}
+	}
+	if len(stages) != 2 || stages[0] != "degraded" || stages[1] != "healed" {
+		t.Errorf("EvStoreDegraded stages = %v, want [degraded healed]", stages)
+	}
+}
+
+func TestDegradedStoreKeepsServingAppends(t *testing.T) {
+	dir := t.TempDir()
+	s, mt := openQuiet(t, dir)
+
+	// A long outage: every append fails, but none of them panics or wedges,
+	// and each keeps probing the disk (counting retries).
+	s.InjectIOFaults(writeAttempts * 3)
+	for seq := 1; seq <= 3; seq++ {
+		_ = s.Append(Record{Kind: RecPhase, Instance: "ep/1", Phase: "p", Seq: seq})
+	}
+	if !s.Degraded() {
+		t.Fatal("store not degraded during outage")
+	}
+	if got, want := mt.StoreRetries.Value(), uint64((writeAttempts-1)*3); got != want {
+		t.Errorf("harp_store_retries_total = %d, want %d", got, want)
+	}
+
+	// Recovery: appends succeed again and the healed store snapshots.
+	if err := s.Append(Record{Kind: RecPhase, Instance: "ep/1", Phase: "q", Seq: 4}); err != nil {
+		t.Fatalf("Append after outage: %v", err)
+	}
+	if s.Degraded() {
+		t.Error("store still degraded after outage ended")
+	}
+	s.Close()
+
+	// The WAL holds exactly the successful records — the rewind kept the
+	// failed attempts from leaving partial bytes behind.
+	s2, _ := openQuiet(t, dir)
+	defer s2.Close()
+	rec := s2.Recovery()
+	if rec.Corruptions != 0 {
+		t.Fatalf("recovery found %d corruptions after outage", rec.Corruptions)
+	}
+}

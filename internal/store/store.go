@@ -43,6 +43,20 @@ const (
 // ErrCorrupt wraps any decode failure in the snapshot or WAL.
 var ErrCorrupt = errors.New("store: corrupt")
 
+// errInjected is the transient write error produced by the InjectIOFaults
+// test seam.
+var errInjected = errors.New("store: injected I/O fault")
+
+// Retry policy for transient write errors: a handful of attempts with a
+// small capped exponential backoff. The total worst-case stall (~a few ms)
+// stays well inside one 50 ms adaptation tick, so absorbing a transient
+// disk hiccup never costs an epoch.
+const (
+	writeAttempts  = 4
+	retryBaseDelay = 500 * time.Microsecond
+	retryMaxDelay  = 5 * time.Millisecond
+)
+
 // Recovery describes what Open found and did.
 type Recovery struct {
 	// Generation is the store generation after recovery: the recovered
@@ -76,6 +90,7 @@ type Recovery struct {
 type Store struct {
 	dir     string
 	metrics *telemetry.Metrics
+	tracer  *telemetry.Tracer
 
 	mu         sync.Mutex
 	wal        *os.File
@@ -87,12 +102,26 @@ type Store struct {
 	walRecords int
 	lastSnap   time.Time
 	closed     bool
+
+	// degraded is durability-degraded mode: write retries exhausted, so
+	// snapshots are suspended and appends keep probing until one succeeds
+	// (which heals the store). The RM keeps allocating throughout.
+	degraded    bool
+	degradedErr error
+	// injectFail makes the next N physical writes fail with a transient
+	// error (the store-io fault seam; see InjectIOFaults).
+	injectFail int
+	// sleep is the backoff sleeper, injectable so tests need not wait.
+	sleep func(time.Duration)
 }
 
 // Options configures Open.
 type Options struct {
 	// Metrics receives harp_store_* updates (nil disables).
 	Metrics *telemetry.Metrics
+	// Tracer receives EvStoreDegraded transition events when the store
+	// enters or heals durability-degraded mode (nil disables).
+	Tracer *telemetry.Tracer
 }
 
 // Open recovers the state directory (creating it if needed) and returns a
@@ -111,7 +140,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	s := &Store{dir: dir, metrics: opts.Metrics}
+	s := &Store{dir: dir, metrics: opts.Metrics, tracer: opts.Tracer, sleep: time.Sleep}
 
 	st := NewState()
 	snapPath := filepath.Join(dir, snapshotName)
@@ -273,8 +302,82 @@ func (s *Store) Err() error {
 	return s.stickyErr
 }
 
-// Append assigns the record an LSN and writes it to the WAL. Errors are
-// sticky and also returned; callers on the hot path may ignore them.
+// InjectIOFaults arms the store-io fault seam: the next n physical writes
+// (WAL record appends, snapshot files) fail with a transient error before
+// touching the disk. Used by the chaos harnesses to exercise the
+// retry/backoff path and durability-degraded mode deterministically.
+func (s *Store) InjectIOFaults(n int) {
+	s.mu.Lock()
+	s.injectFail = n
+	s.mu.Unlock()
+}
+
+// Degraded reports whether the store is in durability-degraded mode:
+// write retries exhausted, snapshots suspended, appends still probing. A
+// later successful write heals it.
+func (s *Store) Degraded() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degraded
+}
+
+// failInjected consumes one armed injected fault. s.mu held.
+func (s *Store) failInjected() error {
+	if s.injectFail > 0 {
+		s.injectFail--
+		return errInjected
+	}
+	return nil
+}
+
+// retryWrite runs op under the retry-with-capped-backoff policy, counting
+// every retried attempt in harp_store_retries_total. Success heals
+// durability-degraded mode; exhaustion enters it. s.mu held throughout —
+// the worst-case backoff is bounded far below one adaptation tick.
+func (s *Store) retryWrite(op func() error) error {
+	delay := retryBaseDelay
+	var err error
+	for attempt := 0; attempt < writeAttempts; attempt++ {
+		if attempt > 0 {
+			if m := s.metrics; m != nil {
+				m.StoreRetries.Inc()
+			}
+			s.sleep(delay)
+			if delay *= 2; delay > retryMaxDelay {
+				delay = retryMaxDelay
+			}
+		}
+		if err = s.failInjected(); err == nil {
+			err = op()
+		}
+		if err == nil {
+			if s.degraded {
+				s.tracer.Emit(telemetry.Event{Kind: telemetry.EvStoreDegraded, Stage: "healed"})
+			}
+			s.degraded = false
+			s.degradedErr = nil
+			return nil
+		}
+	}
+	if !s.degraded {
+		s.tracer.Emit(telemetry.Event{Kind: telemetry.EvStoreDegraded, Stage: "degraded"})
+	}
+	s.degraded = true
+	s.degradedErr = err
+	return err
+}
+
+// rewind truncates the WAL back to off after a failed partial record
+// write, so a retry never leaves interleaved garbage for replay.
+func (s *Store) rewind(off int64) {
+	_ = s.wal.Truncate(off)
+	_, _ = s.wal.Seek(off, io.SeekStart)
+}
+
+// Append assigns the record an LSN and writes it to the WAL. Transient
+// write errors are retried with capped backoff; exhaustion puts the store
+// into durability-degraded mode. Errors are sticky and also returned;
+// callers on the hot path may ignore them.
 func (s *Store) Append(rec Record) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -291,12 +394,28 @@ func (s *Store) Append(rec Record) error {
 	var hdr [8]byte
 	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
 	binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
-	if _, err := s.wal.Write(hdr[:]); err != nil {
+	off, err := s.wal.Seek(0, io.SeekCurrent)
+	if err != nil {
 		s.stickyErr = err
 		return err
 	}
-	if _, err := s.wal.Write(payload); err != nil {
-		s.stickyErr = err
+	// The record write retries as a unit: a partially written attempt is
+	// rewound to the pre-record offset first.
+	err = s.retryWrite(func() error {
+		if _, err := s.wal.Write(hdr[:]); err != nil {
+			s.rewind(off)
+			return err
+		}
+		if _, err := s.wal.Write(payload); err != nil {
+			s.rewind(off)
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		if s.stickyErr == nil {
+			s.stickyErr = err
+		}
 		return err
 	}
 	s.walRecords++
@@ -318,6 +437,12 @@ func (s *Store) WriteSnapshot(st *State) error {
 	if s.closed {
 		return errors.New("store: closed")
 	}
+	if s.degraded {
+		// Durability-degraded mode suspends snapshots: the RM keeps
+		// allocating, and the next successful append heals the store and
+		// re-enables them.
+		return nil
+	}
 	st.Generation = s.generation
 	st.WALSeq = s.lsn
 	raw, err := EncodeSnapshot(st)
@@ -327,24 +452,13 @@ func (s *Store) WriteSnapshot(st *State) error {
 	}
 
 	snapPath := filepath.Join(s.dir, snapshotName)
-	tmp, err := os.CreateTemp(s.dir, snapshotName+".tmp-*")
+	err = s.retryWrite(func() error {
+		return writeSnapshotFile(s.dir, snapPath, raw)
+	})
 	if err != nil {
-		s.stickyErr = err
-		return err
-	}
-	tmpName := tmp.Name()
-	if _, err := tmp.Write(raw); err == nil {
-		err = tmp.Sync()
-	}
-	if cerr := tmp.Close(); err == nil {
-		err = cerr
-	}
-	if err == nil {
-		err = os.Rename(tmpName, snapPath)
-	}
-	if err != nil {
-		os.Remove(tmpName)
-		s.stickyErr = err
+		if s.stickyErr == nil {
+			s.stickyErr = err
+		}
 		return err
 	}
 
@@ -360,6 +474,30 @@ func (s *Store) WriteSnapshot(st *State) error {
 	if m := s.metrics; m != nil {
 		m.StoreSnapshotBytes.Set(float64(len(raw)))
 		m.StoreSnapshotAge.Set(0)
+	}
+	return nil
+}
+
+// writeSnapshotFile performs one atomic snapshot attempt: temp file,
+// write, fsync, rename. Each retry starts from a fresh temp file.
+func writeSnapshotFile(dir, snapPath string, raw []byte) error {
+	tmp, err := os.CreateTemp(dir, snapshotName+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err = tmp.Write(raw); err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmpName, snapPath)
+	}
+	if err != nil {
+		os.Remove(tmpName)
+		return err
 	}
 	return nil
 }

@@ -52,9 +52,13 @@ type EpochRecord struct {
 	// probes or was served from the solution cache.
 	LambdaIters int `json:"lambda_iters,omitempty"`
 	// SolveSource tells where the epoch's solution came from: "cold" (full
-	// solve from zero λ), "warm" (solve seeded with the previous λ) or
-	// "cached" (served from the fingerprinted solution cache). Empty for
-	// epochs without a solve.
+	// solve from zero λ), "warm" (solve seeded with the previous λ),
+	// "cached" (served from the fingerprinted solution cache), or a
+	// degradation-ladder rung when the primary solve failed or blew its
+	// deadline budget — "degraded-greedy" (greedy fallback solve),
+	// "degraded-stale" (last-known-good allocation replayed) or "frozen"
+	// (no usable allocation; pushes frozen). Empty for epochs without a
+	// solve.
 	SolveSource string `json:"solve_source,omitempty"`
 	// PowerBudgetW is the predicted system power of the epoch's standing
 	// allocation — the sum of the per-app slices in Outputs plus unchanged

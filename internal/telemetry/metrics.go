@@ -121,6 +121,31 @@ func (v *GaugeVec) Delete(value string) {
 	v.mu.Unlock()
 }
 
+// CounterVec is a family of counters keyed by one label value (e.g.
+// degraded epochs keyed by ladder rung).
+type CounterVec struct {
+	label string
+	mu    sync.Mutex
+	vals  map[string]*Counter
+}
+
+// With returns the counter for the label value, creating it on first use.
+// Callers on hot paths should cache the returned *Counter. Nil-safe:
+// returns a nil *Counter whose methods are no-ops.
+func (v *CounterVec) With(value string) *Counter {
+	if v == nil {
+		return nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.vals[value]
+	if !ok {
+		c = &Counter{}
+		v.vals[value] = c
+	}
+	return c
+}
+
 // Histogram counts observations into fixed cumulative buckets (Prometheus
 // classic histogram semantics: bucket i counts observations <= Buckets[i],
 // plus an implicit +Inf bucket). Observations are lock-free.
@@ -230,6 +255,7 @@ type metric struct {
 	help string
 	typ  string // "counter", "gauge", "histogram"
 	c    *Counter
+	cv   *CounterVec
 	fc   *FloatCounter
 	g    *Gauge
 	gv   *GaugeVec
@@ -274,6 +300,19 @@ func (r *Registry) Counter(name, help string) *Counter {
 		m.c = &Counter{}
 	}
 	return m.c
+}
+
+// CounterVec returns the named one-label counter family, creating it on
+// first use.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	m := r.register(name, help, "counter")
+	if m.cv == nil {
+		m.cv = &CounterVec{label: label, vals: make(map[string]*Counter)}
+	}
+	return m.cv
 }
 
 // FloatCounter returns the named float counter, creating it on first use.
@@ -365,6 +404,17 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		switch {
 		case m.c != nil:
 			fmt.Fprintf(w, "%s %d\n", m.name, m.c.Value())
+		case m.cv != nil:
+			m.cv.mu.Lock()
+			keys := make([]string, 0, len(m.cv.vals))
+			for k := range m.cv.vals {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(w, "%s{%s=%q} %d\n", m.name, m.cv.label, k, m.cv.vals[k].Value())
+			}
+			m.cv.mu.Unlock()
 		case m.fc != nil:
 			fmt.Fprintf(w, "%s %s\n", m.name, formatFloat(m.fc.Value()))
 		case m.g != nil:
@@ -435,6 +485,14 @@ func (r *Registry) snapshot() map[string]any {
 		switch {
 		case m.c != nil:
 			out[m.name] = m.c.Value()
+		case m.cv != nil:
+			m.cv.mu.Lock()
+			sub := make(map[string]uint64, len(m.cv.vals))
+			for k, c := range m.cv.vals {
+				sub[k] = c.Value()
+			}
+			m.cv.mu.Unlock()
+			out[m.name] = sub
 		case m.fc != nil:
 			out[m.name] = m.fc.Value()
 		case m.g != nil:
@@ -580,6 +638,17 @@ type Metrics struct {
 	// JournalErrors counts journal records lost to write errors (the first
 	// failing write and every record suppressed by the sticky error after it).
 	JournalErrors *Counter
+
+	// EpochDegraded counts epochs that fell off the primary solve onto a
+	// degradation-ladder rung, labelled by rung (degraded-greedy,
+	// degraded-stale, frozen).
+	EpochDegraded *CounterVec
+	// EpochFailures counts epochs whose primary solve failed or blew its
+	// deadline budget — every degraded epoch and every hard allocator error.
+	EpochFailures *Counter
+	// StoreRetries counts transient durable-state write errors absorbed by
+	// the store's retry/backoff path.
+	StoreRetries *Counter
 }
 
 // NewMetrics creates the standard instrument bundle on the registry.
@@ -625,5 +694,9 @@ func NewMetrics(r *Registry) *Metrics {
 		BudgetOverrunSeconds: r.FloatCounter("harp_budget_overrun_seconds_total", "Seconds the measured fleet power exceeded the epoch power budget."),
 		TracerDropped:        r.Counter("harp_tracer_dropped_total", "Events evicted from the tracer ring."),
 		JournalErrors:        r.Counter("harp_journal_errors_total", "Journal records lost to write errors."),
+
+		EpochDegraded: r.CounterVec("harp_epoch_degraded_total", "Epochs resolved by a degradation-ladder rung.", "rung"),
+		EpochFailures: r.Counter("harp_epoch_failures_total", "Epochs whose primary solve failed or exceeded its deadline budget."),
+		StoreRetries:  r.Counter("harp_store_retries_total", "Transient durable-state write errors absorbed by retry."),
 	}
 }

@@ -83,6 +83,18 @@ const (
 	EvSpanBegin
 	// EvSpanEnd: the matching phase close ("E" duration event).
 	EvSpanEnd
+	// EvEpochDegraded: the epoch's primary solve failed or blew its deadline
+	// budget and a degradation-ladder rung resolved the epoch instead (Stage
+	// = rung: degraded-greedy, degraded-stale or frozen).
+	EvEpochDegraded
+	// EvSessionPanicked: a session's inputs made the solver panic; the
+	// session was quarantined to isolate the poisonous table (Stage carries
+	// the truncated panic value).
+	EvSessionPanicked
+	// EvStoreDegraded: the durable-state store exhausted its write retries
+	// and entered durability-degraded mode (Stage = "degraded"), or a later
+	// successful write healed it (Stage = "healed").
+	EvStoreDegraded
 )
 
 // String implements fmt.Stringer.
@@ -126,6 +138,12 @@ func (k EventKind) String() string {
 		return "span-begin"
 	case EvSpanEnd:
 		return "span-end"
+	case EvEpochDegraded:
+		return "epoch-degraded"
+	case EvSessionPanicked:
+		return "session-panicked"
+	case EvStoreDegraded:
+		return "store-degraded"
 	default:
 		return "event(?)"
 	}

@@ -7,7 +7,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-code=$(grep -oE '\br\.(Counter|Gauge|Histogram|GaugeVec|FloatCounter|HistogramVec)\("harp_[a-z0-9_]+"' \
+code=$(grep -oE '\br\.(Counter|Gauge|Histogram|CounterVec|GaugeVec|FloatCounter|HistogramVec)\("harp_[a-z0-9_]+"' \
 	internal/telemetry/metrics.go | grep -oE 'harp_[a-z0-9_]+' | sort -u)
 # Table rows look like "| `harp_name` | ..." or "| `harp_name{label=…}` | ...";
 # the name ends at the closing backtick or the label brace.
