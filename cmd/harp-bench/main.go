@@ -22,8 +22,11 @@ import (
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
+	"github.com/harp-rm/harp/harpsim"
 	"github.com/harp-rm/harp/internal/alloc"
+	"github.com/harp-rm/harp/internal/core"
 	"github.com/harp-rm/harp/internal/opoint"
 	"github.com/harp-rm/harp/internal/platform"
 	"github.com/harp-rm/harp/internal/workload"
@@ -63,6 +66,33 @@ type Report struct {
 	WarmColdIters int     `json:"warm_cold_iters"`
 	WarmIters     int     `json:"warm_iters"`
 	WarmSavedPct  float64 `json:"warm_saved_pct"`
+
+	// Churn is the open-loop 10k-session churn benchmark (harpsim.RunChurn):
+	// coalesced epochs + incremental + sharded solving against the 50 ms
+	// adaptation-tick budget, plus a smaller solve-per-event baseline for the
+	// epochs-vs-events comparison.
+	Churn *ChurnReport `json:"churn,omitempty"`
+}
+
+// ChurnReport is the churn section of BENCH_alloc.json.
+type ChurnReport struct {
+	Sessions     int            `json:"sessions"`
+	Ticks        int            `json:"ticks"`
+	Events       int            `json:"events"`
+	Epochs       int            `json:"epochs"`
+	P50Ms        float64        `json:"p50_ms"`
+	P99Ms        float64        `json:"p99_ms"`
+	MaxMs        float64        `json:"max_ms"`
+	TickBudgetMs float64        `json:"tick_budget_ms"`
+	SolveSources map[string]int `json:"solve_sources"`
+	Verified     int            `json:"verified"`
+
+	// Baseline is the historical solve-per-event behaviour at a smaller
+	// population (running it at 10k would take minutes by construction).
+	BaselineSessions int     `json:"baseline_sessions"`
+	BaselineEvents   int     `json:"baseline_events"`
+	BaselineEpochs   int     `json:"baseline_epochs"`
+	BaselineP99Ms    float64 `json:"baseline_p99_ms"`
 }
 
 func main() {
@@ -127,6 +157,9 @@ func run(args []string, out io.Writer) error {
 	if rep.WarmColdIters > 0 {
 		rep.WarmSavedPct = 100 * (1 - float64(rep.WarmIters)/float64(rep.WarmColdIters))
 	}
+	if rep.Churn, err = measureChurn(); err != nil {
+		return err
+	}
 
 	raw, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -159,6 +192,18 @@ func checkContracts(rep *Report) error {
 	}
 	if rep.WarmIters > rep.WarmColdIters {
 		errs = append(errs, fmt.Sprintf("warm starts cost iterations: %d warm vs %d cold", rep.WarmIters, rep.WarmColdIters))
+	}
+	if c := rep.Churn; c != nil {
+		if c.P99Ms >= c.TickBudgetMs {
+			errs = append(errs, fmt.Sprintf("churn p99 epoch latency %.1f ms breaches the %.0f ms tick budget at %d sessions",
+				c.P99Ms, c.TickBudgetMs, c.Sessions))
+		}
+		if c.Epochs*4 > c.Events {
+			errs = append(errs, fmt.Sprintf("coalescing ineffective: %d epochs for %d events", c.Epochs, c.Events))
+		}
+		if c.Verified == 0 {
+			errs = append(errs, "no churn epochs were oracle-verified")
+		}
 	}
 	if len(errs) == 0 {
 		return nil
@@ -323,6 +368,54 @@ func warmIterSums(plat *platform.Platform, inputs []alloc.AppInput) (cold, warm 
 		warm += wst.LambdaIters
 	}
 	return cold, warm, nil
+}
+
+// measureChurn runs the 10k-session open-loop churn benchmark — coalesced
+// epochs, incremental re-solves and sharded solving, with every 8th epoch
+// oracle-verified — plus a smaller solve-per-event baseline that shows the
+// O(solve-per-event) pathology the tentpole removes.
+func measureChurn() (*ChurnReport, error) {
+	ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+	res, err := harpsim.RunChurn(harpsim.ChurnOptions{
+		Sessions:      10000,
+		Ticks:         40,
+		EventsPerTick: 20,
+		Seed:          1,
+		Coalesce:      core.CoalescePolicy{Enabled: true},
+		Sharded:       true,
+		Incremental:   true,
+		VerifyEvery:   8,
+	})
+	if err != nil {
+		return nil, err
+	}
+	base, err := harpsim.RunChurn(harpsim.ChurnOptions{
+		Sessions:      1000,
+		Ticks:         10,
+		EventsPerTick: 5,
+		Seed:          1,
+		// Zero CoalescePolicy: the historical solve-per-event behaviour.
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ChurnReport{
+		Sessions:         10000,
+		Ticks:            40,
+		Events:           res.Events,
+		Epochs:           res.Epochs,
+		P50Ms:            ms(res.P50),
+		P99Ms:            ms(res.P99),
+		MaxMs:            ms(res.Max),
+		TickBudgetMs:     ms(core.AdaptationTick),
+		SolveSources:     res.SolveSources,
+		Verified:         res.Verified,
+		BaselineSessions: 1000,
+		BaselineEvents:   base.Events,
+		BaselineEpochs:   base.Epochs,
+		BaselineP99Ms:    ms(base.P99),
+	}, nil
 }
 
 func regimeOf(res testing.BenchmarkResult, iters int) Regime {

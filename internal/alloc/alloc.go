@@ -97,12 +97,23 @@ type Allocator struct {
 	cacheSize int
 	cache     *solutionCache
 	fpBase    Fingerprint
-	tableMemo map[*opoint.Table]tableHashEntry
+	tableMemo map[uint64]tableHashEntry
 
 	// Warm-start state (warmstart.go).
 	warm       bool
 	prevLambda []float64
 	havePrev   bool
+
+	// Incremental re-solve state (incremental.go): standing allocations
+	// pinned per application, the epochs since the last full solve, and the
+	// cost-slack baseline the drift bound compares against.
+	inc           bool
+	incFullEvery  int
+	incDriftBound float64
+	incPins       map[string]*pinnedApp
+	incSinceFull  int
+	incBaseSlack  float64
+	incHaveBase   bool
 
 	// overBudget, when set, is polled between subgradient iterations; a
 	// true return cuts the λ loop off early (repair still makes the
@@ -227,6 +238,15 @@ func New(plat *platform.Platform, opts ...Option) (*Allocator, error) {
 	if a.cacheSize > 0 {
 		a.cache = newSolutionCache(a.cacheSize)
 	}
+	if a.incFullEvery < 1 {
+		a.incFullEvery = DefaultIncrementalFullEvery
+	}
+	if a.incDriftBound <= 0 {
+		a.incDriftBound = DefaultIncrementalDriftBound
+	}
+	if a.inc {
+		a.incPins = make(map[string]*pinnedApp)
+	}
 	a.fpBase = a.fingerprintBase()
 	if a.metrics != nil {
 		a.fingerprintHist = a.metrics.EpochPhase.With(telemetry.PhaseFingerprint)
@@ -266,6 +286,14 @@ const (
 	SourceWarm = "warm"
 	// SourceCached is a solution served from the fingerprint cache.
 	SourceCached = "cached"
+	// SourceIncremental is a merge of pinned standing allocations with a
+	// re-solve of the changed applications against the residual capacity
+	// (see incremental.go).
+	SourceIncremental = "incremental"
+	// SourceSharded is a solve partitioned into independent allocation
+	// domains by platform-kind footprint and solved in parallel (see
+	// sharded.go). Single-domain sharded solves keep the child's source.
+	SourceSharded = "sharded"
 
 	// The remaining sources are degradation-ladder rungs, produced by
 	// core.Manager (not this package's solver) when the primary solve
@@ -296,9 +324,13 @@ type Stats struct {
 	LambdaIters int
 	// CoAllocated counts applications that ended up sharing cores.
 	CoAllocated int
-	// Source tells where the solution came from: SourceCold, SourceWarm or
-	// SourceCached.
+	// Source tells where the solution came from: SourceCold, SourceWarm,
+	// SourceCached, SourceIncremental or SourceSharded.
 	Source string
+	// Pinned and Resolved break an incremental solve down: Pinned
+	// applications kept their standing allocation, Resolved went through the
+	// residual re-solve (both 0 for full solves).
+	Pinned, Resolved int
 }
 
 // Allocate selects one operating point per application and assigns concrete
@@ -337,6 +369,11 @@ func (a *Allocator) AllocateWithStats(apps []AppInput) ([]Allocation, Stats, err
 				stats = e.stats
 				stats.Source = SourceCached
 				stats.LambdaIters = 0
+				// With incremental solving on, pins track the standing
+				// solution even across cache hits, so a later changed-set
+				// merge starts from what was actually returned. A no-op
+				// (and still zero-allocation) when incremental is off.
+				a.rememberFullSolve(apps, e.allocs)
 				a.emitTrace(stats)
 				return e.allocs, stats, nil
 			}
@@ -355,6 +392,20 @@ func (a *Allocator) AllocateWithStats(apps []AppInput) ([]Allocation, Stats, err
 	}
 
 	solveSpan := a.tracer.BeginPhase(telemetry.PhaseSolve, a.solveHist)
+
+	// Incremental path (incremental.go): when pins from a previous solve
+	// exist and only a small changed set of applications differs, re-solve
+	// just that set against the residual capacity. Falls through to the full
+	// pipeline when ineligible, on drift or on the full-solve cadence.
+	if out, incStats, ok, err := a.tryIncremental(apps, capacity); ok || err != nil {
+		solveSpan.End()
+		if err != nil {
+			return nil, stats, err
+		}
+		a.emitTrace(incStats)
+		return out, incStats, nil
+	}
+
 	states := s.ensureStates(len(apps))
 	for i, app := range apps {
 		if app.Table == nil {
@@ -370,32 +421,18 @@ func (a *Allocator) AllocateWithStats(apps []AppInput) ([]Allocation, Stats, err
 	stats.Apps = len(apps)
 	stats.Source = SourceCold
 
-	switch a.method {
-	case Lagrangian:
-		warm := a.warmLambda(len(capacity))
-		if warm != nil {
-			stats.Source = SourceWarm
-		}
-		stats.LambdaIters = a.lagrangianSelect(states, capacity, warm)
-		if stats.Source == SourceWarm && a.metrics != nil {
-			a.metrics.AllocWarmStartIters.Observe(float64(stats.LambdaIters))
-		}
-	case Greedy:
-		for i := range states {
-			states[i].chosen = -1
-		}
+	warm := a.warmLambda(len(capacity))
+	if warm != nil {
+		stats.Source = SourceWarm
+	}
+	stats.LambdaIters = a.selectPoints(states, capacity, warm)
+	if stats.Source == SourceWarm && a.metrics != nil {
+		a.metrics.AllocWarmStartIters.Observe(float64(stats.LambdaIters))
 	}
 	solveSpan.End()
 
 	repairSpan := a.tracer.BeginPhase(telemetry.PhaseRepair, a.repairHist)
-	a.repair(states, capacity)
-	if a.method == Lagrangian {
-		// rescue is part of the production pipeline only: the greedy
-		// ablation exists to show what order-sensitive repair costs, and
-		// rescuing it would erase exactly that difference.
-		a.rescue(states, capacity)
-	}
-	a.improve(states, capacity)
+	a.refine(states, capacity)
 	out, err := a.assignCores(states)
 	repairSpan.End()
 	if err != nil {
@@ -412,8 +449,78 @@ func (a *Allocator) AllocateWithStats(apps []AppInput) ([]Allocation, Stats, err
 			a.metrics.AllocCacheEvictions.Add(uint64(evicted))
 		}
 	}
+	a.rememberFullSolve(apps, out)
 	a.emitTrace(stats)
 	return out, stats, nil
+}
+
+// AllocateCapped solves against an explicit per-kind core capacity instead
+// of the platform's (capacity[k] <= the kind's core count). The sharded
+// allocator's power-budget coordinator uses it to shrink a domain's
+// footprint; the solution cache and the incremental path are bypassed — the
+// fingerprint does not cover capacity overrides — but pins are refreshed so
+// later incremental merges start from what was returned.
+func (a *Allocator) AllocateCapped(apps []AppInput, capacity []int) ([]Allocation, Stats, error) {
+	var stats Stats
+	if len(apps) == 0 {
+		return nil, stats, nil
+	}
+	if len(capacity) != len(a.plat.Kinds) {
+		return nil, stats, fmt.Errorf("alloc: capped solve with %d capacities for %d kinds", len(capacity), len(a.plat.Kinds))
+	}
+	states := a.scratch.ensureStates(len(apps))
+	for i, app := range apps {
+		if app.Table == nil {
+			return nil, stats, fmt.Errorf("alloc: app %q without operating-point table", app.ID)
+		}
+		if err := a.buildState(states[i], app); err != nil {
+			return nil, stats, err
+		}
+		stats.Candidates += len(states[i].cands)
+	}
+	stats.Apps = len(apps)
+	stats.Source = SourceCold
+	stats.LambdaIters = a.selectPoints(states, capacity, nil)
+	a.refine(states, capacity)
+	out, err := a.assignCores(states)
+	if err != nil {
+		return nil, stats, err
+	}
+	for _, al := range out {
+		if al.CoAllocated {
+			stats.CoAllocated++
+		}
+	}
+	a.rememberFullSolve(apps, out)
+	return out, stats, nil
+}
+
+// selectPoints runs the solver's selection step — the subgradient iteration
+// for Lagrangian, the "pick during repair" initialisation for greedy — and
+// returns the λ iteration count (0 for greedy).
+func (a *Allocator) selectPoints(states []*appState, capacity []int, warm []float64) int {
+	switch a.method {
+	case Lagrangian:
+		return a.lagrangianSelect(states, capacity, warm)
+	default:
+		for i := range states {
+			states[i].chosen = -1
+		}
+		return 0
+	}
+}
+
+// refine makes the selection feasible and locally optimal: repair, then (for
+// the production Lagrangian pipeline only) rescue, then the local-search
+// improvement. rescue stays off the greedy ablation — it exists to show what
+// order-sensitive repair costs, and rescuing it would erase exactly that
+// difference.
+func (a *Allocator) refine(states []*appState, capacity []int) {
+	a.repair(states, capacity)
+	if a.method == Lagrangian {
+		a.rescue(states, capacity)
+	}
+	a.improve(states, capacity)
 }
 
 // emitTrace emits the per-solve EvAllocationComputed event when tracing is
@@ -667,7 +774,15 @@ func (a *Allocator) lagrangianSelect(states []*appState, capacity []int, warm []
 		copy(prev, lambda)
 		step := scale * 2 / float64(it+2)
 		for k := range lambda {
-			over := float64(demand[k]-capacity[k]) / float64(capacity[k])
+			// A platform kind always has capacity >= 1, but residual solves
+			// (incremental re-solves, power-capped reconciles) can present a
+			// kind whose capacity is fully pinned away; normalise by 1 there
+			// so the over-demand signal stays finite.
+			denom := float64(capacity[k])
+			if denom <= 0 {
+				denom = 1
+			}
+			over := float64(demand[k]-capacity[k]) / denom
 			lambda[k] = math.Max(0, lambda[k]+step*over)
 		}
 		if floatsEqual(lambda, prev) {
@@ -767,6 +882,20 @@ const (
 	rescueBudget      = 200_000
 )
 
+// rescueMaxDeferred skips rescue entirely when more applications were
+// deferred to co-allocation than could plausibly be lifted back: mass
+// oversubscription (thousands of sessions on tens of cores) has no isolated
+// arrangement to find, and O(deferred × rescueBudget) search there would
+// dominate the epoch. Small instances — everything the differential oracle
+// covers — are unaffected.
+const rescueMaxDeferred = 32
+
+// pairMoveMaxApps bounds the pairwise-exchange neighbourhood of improve: the
+// scan is O(N² × candidates²), which is noise for oracle-sized instances but
+// would dwarf the solve itself at churn scale. Single moves still run at any
+// size.
+const pairMoveMaxApps = 64
+
 // rescue tries to lift co-allocated applications back into spatial isolation.
 // repair walks applications in order without backtracking, so early
 // applications holding large points can push a later one into co-allocation
@@ -778,6 +907,15 @@ const (
 // repeats until no deferred application can be lifted. The loop terminates:
 // each round clears at least one coalloc flag and rescue never sets one.
 func (a *Allocator) rescue(states []*appState, capacity []int) {
+	deferred := 0
+	for _, st := range states {
+		if st.coalloc {
+			deferred++
+		}
+	}
+	if deferred == 0 || deferred > rescueMaxDeferred {
+		return
+	}
 	nk := len(capacity)
 	remaining := make([]int, nk)
 	recompute := func() {
@@ -978,7 +1116,7 @@ func (a *Allocator) improve(states []*appState, capacity []int) {
 		if singleMove() {
 			continue
 		}
-		if !pairMove() {
+		if len(states) > pairMoveMaxApps || !pairMove() {
 			return
 		}
 	}
@@ -1016,6 +1154,34 @@ func (e *CapacityError) Error() string {
 // scratch-arena memory — because the solution cache retains its result
 // beyond the solve.
 func (a *Allocator) assignCores(states []*appState) ([]Allocation, error) {
+	return a.assignCoresAvail(states, nil)
+}
+
+// assignCoresAvail is assignCores against an explicit per-kind availability:
+// avail[kind] lists the free global core indices the assignment may draw
+// from, in the order they should be handed out. A nil avail means the full
+// kind ranges — bit-identical to the historical assignment. Incremental
+// re-solves pass the capacity left over by pinned allocations.
+//
+// Co-allocated states wrap around the kind's availability list; a kind with
+// no free cores at all wraps around its full range instead (the cores are
+// time-shared anyway, and a co-allocated grant may legally overlap pinned
+// isolated allocations).
+func (a *Allocator) assignCoresAvail(states []*appState, avail [][]int) ([]Allocation, error) {
+	coreAt := func(kindIdx, slot int) int {
+		if avail == nil {
+			lo, _ := a.plat.CoreRange(platform.KindID(kindIdx))
+			return lo + slot
+		}
+		return avail[kindIdx][slot]
+	}
+	totalOf := func(kindIdx int) int {
+		if avail == nil {
+			lo, hi := a.plat.CoreRange(platform.KindID(kindIdx))
+			return hi - lo
+		}
+		return len(avail[kindIdx])
+	}
 	nextFree := make([]int, len(a.plat.Kinds))
 	out := make([]Allocation, len(states))
 	for si, st := range states {
@@ -1028,8 +1194,7 @@ func (a *Allocator) assignCores(states []*appState) ([]Allocation, error) {
 			continue
 		}
 		for kindIdx, counts := range cand.op.Vector.Counts {
-			lo, hi := a.plat.CoreRange(platform.KindID(kindIdx))
-			total := hi - lo
+			total := totalOf(kindIdx)
 			for tIdx, cores := range counts {
 				for c := 0; c < cores; c++ {
 					slot := nextFree[kindIdx]
@@ -1037,7 +1202,7 @@ func (a *Allocator) assignCores(states []*appState) ([]Allocation, error) {
 						return nil, &CapacityError{App: st.id, Kind: kindIdx, Granted: slot, Capacity: total}
 					}
 					out[si].Grants = append(out[si].Grants, CoreGrant{
-						Core:    lo + slot,
+						Core:    coreAt(kindIdx, slot),
 						Threads: tIdx + 1,
 					})
 					nextFree[kindIdx]++
@@ -1052,13 +1217,19 @@ func (a *Allocator) assignCores(states []*appState) ([]Allocation, error) {
 		out[si].CoAllocated = true
 		cand := st.cands[st.chosen]
 		for kindIdx, counts := range cand.op.Vector.Counts {
+			total := totalOf(kindIdx)
+			wrapFull := total == 0
 			lo, hi := a.plat.CoreRange(platform.KindID(kindIdx))
-			total := hi - lo
 			for tIdx, cores := range counts {
 				for c := 0; c < cores; c++ {
-					slot := nextFree[kindIdx] % total
+					var core int
+					if wrapFull {
+						core = lo + nextFree[kindIdx]%(hi-lo)
+					} else {
+						core = coreAt(kindIdx, nextFree[kindIdx]%total)
+					}
 					out[si].Grants = append(out[si].Grants, CoreGrant{
-						Core:    lo + slot,
+						Core:    core,
 						Threads: tIdx + 1,
 					})
 					nextFree[kindIdx]++

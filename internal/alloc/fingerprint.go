@@ -67,6 +67,13 @@ func (h *fpHasher) sum() Fingerprint { return Fingerprint{Hi: h.h1, Lo: h.h2} }
 type tableHashEntry struct {
 	version uint64
 	hi, lo  uint64
+	// minCost is the cheapest usable point's cost at the table's own v*
+	// (0 when no point is usable — the free fallback candidate). The
+	// incremental drift bound (incremental.go) sums these to judge how far
+	// pinned allocations have drifted from the per-app optimum; it is a
+	// heuristic trigger, so a caller-side MaxUtility override is deliberately
+	// not folded in.
+	minCost float64
 }
 
 // tableMemoCap bounds the table-hash memo. Tables are long-lived (one per
@@ -81,14 +88,27 @@ const tableMemoCap = 1024
 // measured flag — so any mutation that could change the allocation changes
 // the fingerprint.
 func (a *Allocator) hashTable(t *opoint.Table) (hi, lo uint64) {
+	e := a.tableInfo(t)
+	return e.hi, e.lo
+}
+
+// tableInfo returns the memoised (hash, minCost) entry for the table at its
+// current version, computing and caching it on a version change. The memo is
+// keyed by the table's process-unique ID, not its pointer: predicted tables
+// are clones that all start at version 0, so under session churn a reused
+// address could otherwise serve a stale entry for a different table
+// (opoint.Table.ID).
+func (a *Allocator) tableInfo(t *opoint.Table) tableHashEntry {
+	id := t.ID()
 	v := t.Version()
-	if e, ok := a.tableMemo[t]; ok && e.version == v {
-		return e.hi, e.lo
+	if e, ok := a.tableMemo[id]; ok && e.version == v {
+		return e
 	}
 	h := newFPHasher()
 	h.str(t.App)
 	h.str(t.Platform)
 	h.u64(uint64(len(t.Points)))
+	vstar := 0.0
 	for i := range t.Points {
 		p := &t.Points[i]
 		h.f64(p.Utility)
@@ -105,14 +125,35 @@ func (a *Allocator) hashTable(t *opoint.Table) (hi, lo uint64) {
 				h.u64(uint64(c))
 			}
 		}
+		if p.Utility > vstar {
+			vstar = p.Utility
+		}
 	}
+	// Cheapest usable point at the table's own v*, mirroring buildState's
+	// usability filter; 0 when nothing is usable (fallback candidate).
+	minCost := 0.0
+	haveMin := false
+	for i := range t.Points {
+		p := &t.Points[i]
+		if p.Vector.IsZero() {
+			continue
+		}
+		c := p.Cost(vstar)
+		if math.IsInf(c, 1) || math.IsNaN(c) {
+			continue
+		}
+		if !haveMin || c < minCost {
+			minCost, haveMin = c, true
+		}
+	}
+	e := tableHashEntry{version: v, hi: h.h1, lo: h.h2, minCost: minCost}
 	if a.tableMemo == nil {
-		a.tableMemo = make(map[*opoint.Table]tableHashEntry)
+		a.tableMemo = make(map[uint64]tableHashEntry)
 	} else if len(a.tableMemo) >= tableMemoCap {
 		clear(a.tableMemo)
 	}
-	a.tableMemo[t] = tableHashEntry{version: v, hi: h.h1, lo: h.h2}
-	return h.h1, h.h2
+	a.tableMemo[id] = e
+	return e
 }
 
 // fingerprintBase hashes the per-Allocator constants — platform capacity

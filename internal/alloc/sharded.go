@@ -1,0 +1,333 @@
+package alloc
+
+// Sharded epoch solving: partition the applications into independent
+// allocation domains by platform-kind footprint and solve the domains in
+// parallel, one child Allocator per domain.
+//
+// The partition is exact, not heuristic: an application's footprint is the
+// set of core kinds any of its usable operating points demands (a superset
+// of what the solver can ever choose for it, since candidates are a Pareto
+// subset of the usable points). Two applications whose footprints share no
+// kind can never compete for a core, so solving them in different domains
+// is loss-free — the merged solution is one a full solve could also have
+// produced, and it satisfies the same structural invariants
+// (check.CheckAllocations) because isolated grants stay inside their
+// domain's kinds and co-allocated grants are exempt from overlap rules.
+// Domains are connected components of the "shares a kind" relation,
+// computed per solve with a small union-find over kinds.
+//
+// Children are keyed by domain kind-mask and persist across solves, so each
+// domain keeps its own solution cache, warm-start λ and incremental pin
+// state (whatever options the Sharded allocator was built with). A thin
+// power-budget coordinator runs after the parallel solves: when the summed
+// chosen-point power exceeds the configured cap, every domain is re-solved
+// once against proportionally scaled per-kind capacities (AllocateCapped),
+// which pushes each domain toward cheaper points. The reconcile round is
+// deterministic and bounded — one extra pass, then the result is accepted
+// and the residual overshoot is left to the manager's power governor.
+//
+// Sharded implements the core.Allocator interface. It deliberately does not
+// forward SetOverBudget or the cache export hooks: the degradation ladder
+// and state snapshots operate on a single allocator, and a manager that
+// wants them uses a plain *Allocator. Like *Allocator, Sharded is not
+// goroutine-safe — the embedder serialises solves; internally each parallel
+// worker touches exactly one child.
+
+import (
+	"math"
+
+	"github.com/harp-rm/harp/internal/parallel"
+	"github.com/harp-rm/harp/internal/platform"
+)
+
+// Sharded partitions applications into kind-footprint domains and solves
+// them in parallel on child Allocators.
+type Sharded struct {
+	plat        *platform.Platform
+	parallelism int
+	powerCapW   float64
+	childOpts   []Option
+
+	// children persist per domain kind-mask so caches, warm starts and
+	// incremental pins survive across epochs as long as the partition is
+	// stable.
+	children map[uint64]*Allocator
+
+	// footMemo memoises per-table footprint masks, keyed by the table's
+	// process-unique ID and invalidated by (version, v*) — the tableMemo
+	// idiom from fingerprint.go.
+	footMemo map[uint64]footEntry
+}
+
+type footEntry struct {
+	version uint64
+	vstar   float64
+	mask    uint64
+}
+
+// NewSharded creates a sharded allocator. parallelism <= 0 means one worker
+// per CPU; powerCapW <= 0 disables the power-budget coordinator; opts are
+// applied to every child Allocator (method, cache, warm start, incremental,
+// metrics...).
+func NewSharded(plat *platform.Platform, parallelism int, powerCapW float64, opts ...Option) (*Sharded, error) {
+	if err := plat.Validate(); err != nil {
+		return nil, err
+	}
+	// Build one child eagerly: surfaces bad options at construction time and
+	// pre-warms the whole-platform domain every mixed workload hits.
+	s := &Sharded{
+		plat:        plat,
+		parallelism: parallelism,
+		powerCapW:   powerCapW,
+		childOpts:   opts,
+		children:    make(map[uint64]*Allocator),
+		footMemo:    make(map[uint64]footEntry),
+	}
+	if _, err := s.child(s.allKindsMask()); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Sharded) allKindsMask() uint64 {
+	return (uint64(1) << uint(len(s.plat.Kinds))) - 1
+}
+
+func (s *Sharded) child(mask uint64) (*Allocator, error) {
+	if c, ok := s.children[mask]; ok {
+		return c, nil
+	}
+	c, err := New(s.plat, s.childOpts...)
+	if err != nil {
+		return nil, err
+	}
+	s.children[mask] = c
+	return c, nil
+}
+
+// footprint returns the bitmask of kinds any usable point of the table
+// demands; an application with no usable points demands exactly the
+// fallback candidate's kind (the last, most efficient one). A nil table
+// maps to all kinds so the error surfaces from a single child's buildState.
+func (s *Sharded) footprint(app *AppInput) uint64 {
+	if app.Table == nil {
+		return s.allKindsMask()
+	}
+	vstar := app.MaxUtility
+	if vstar <= 0 {
+		vstar = app.Table.MaxUtility()
+	}
+	id := app.Table.ID()
+	v := app.Table.Version()
+	if e, ok := s.footMemo[id]; ok && e.version == v && e.vstar == vstar {
+		return e.mask
+	}
+	var mask uint64
+	for i := range app.Table.Points {
+		p := &app.Table.Points[i]
+		if p.Vector.IsZero() {
+			continue
+		}
+		c := p.Cost(vstar)
+		if math.IsInf(c, 1) || math.IsNaN(c) {
+			continue
+		}
+		for kind := range p.Vector.Counts {
+			if p.Vector.Cores(platform.KindID(kind)) > 0 {
+				mask |= 1 << uint(kind)
+			}
+		}
+	}
+	if mask == 0 {
+		mask = 1 << uint(len(s.plat.Kinds)-1) // fallbackCandidate's kind
+	}
+	if len(s.footMemo) >= tableMemoCap {
+		clear(s.footMemo)
+	}
+	s.footMemo[id] = footEntry{version: v, vstar: vstar, mask: mask}
+	return mask
+}
+
+// domain is one connected component of the shares-a-kind relation: the kinds
+// it owns and the positions (input order) of the applications inside it.
+type domain struct {
+	mask uint64
+	idx  []int
+}
+
+// AllocateWithStats implements core.Allocator: partition, solve domains in
+// parallel, merge positionally, then run the power-budget coordinator.
+func (s *Sharded) AllocateWithStats(apps []AppInput) ([]Allocation, Stats, error) {
+	nk := len(s.plat.Kinds)
+	if len(apps) == 0 || nk > 64 {
+		// Degenerate platform widths fall back to a single whole-platform
+		// solve (no production platform has >64 core kinds).
+		c, err := s.child(s.allKindsMask())
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		return c.AllocateWithStats(apps)
+	}
+
+	// Union-find over kinds: each application's footprint links its kinds.
+	parent := make([]int, nk)
+	for k := range parent {
+		parent[k] = k
+	}
+	var find func(int) int
+	find = func(k int) int {
+		for parent[k] != k {
+			parent[k] = parent[parent[k]]
+			k = parent[k]
+		}
+		return k
+	}
+	masks := make([]uint64, len(apps))
+	for i := range apps {
+		m := s.footprint(&apps[i])
+		masks[i] = m
+		first := -1
+		for k := 0; k < nk; k++ {
+			if m&(1<<uint(k)) == 0 {
+				continue
+			}
+			if first < 0 {
+				first = find(k)
+				continue
+			}
+			parent[find(k)] = first
+		}
+	}
+
+	// Collect domains ordered by their lowest kind — a deterministic order
+	// independent of parallelism (the parallel.Map contract).
+	domOf := make(map[int]int, nk)
+	var doms []*domain
+	for i := range apps {
+		root := find(lowestKind(masks[i]))
+		di, ok := domOf[root]
+		if !ok {
+			di = len(doms)
+			domOf[root] = di
+			doms = append(doms, &domain{})
+		}
+		doms[di].mask |= masks[i]
+		doms[di].idx = append(doms[di].idx, i)
+	}
+	// Domain masks must cover their whole component, not just the kinds the
+	// surviving apps touch, so the child key is stable while membership
+	// fluctuates.
+	for _, d := range doms {
+		root := find(lowestKind(d.mask))
+		var full uint64
+		for k := 0; k < nk; k++ {
+			if find(k) == root {
+				full |= 1 << uint(k)
+			}
+		}
+		d.mask = full
+	}
+
+	if len(doms) == 1 {
+		// One domain: plain delegation, child source preserved (a sharded
+		// manager on a single-kind platform behaves exactly like an
+		// unsharded one).
+		c, err := s.child(doms[0].mask)
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		return c.AllocateWithStats(apps)
+	}
+
+	// Materialise children and per-domain inputs before fanning out —
+	// workers must not touch shared maps.
+	children := make([]*Allocator, len(doms))
+	inputs := make([][]AppInput, len(doms))
+	for di, d := range doms {
+		c, err := s.child(d.mask)
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		children[di] = c
+		in := make([]AppInput, len(d.idx))
+		for j, i := range d.idx {
+			in[j] = apps[i]
+		}
+		inputs[di] = in
+	}
+
+	type domResult struct {
+		allocs []Allocation
+		stats  Stats
+	}
+	results, err := parallel.Map(s.parallelism, len(doms), func(di int) (domResult, error) {
+		al, st, err := children[di].AllocateWithStats(inputs[di])
+		return domResult{allocs: al, stats: st}, err
+	})
+	if err != nil {
+		return nil, Stats{}, err
+	}
+
+	// Power-budget coordinator: one proportional-scaling reconcile round.
+	if s.powerCapW > 0 {
+		total := 0.0
+		for _, r := range results {
+			for i := range r.allocs {
+				total += r.allocs[i].Point.Power
+			}
+		}
+		if total > s.powerCapW {
+			scale := s.powerCapW / total
+			capped := make([]int, nk)
+			for k := range s.plat.Kinds {
+				capped[k] = int(float64(s.plat.Kinds[k].Count) * scale)
+				if capped[k] < 1 {
+					capped[k] = 1
+				}
+			}
+			results, err = parallel.Map(s.parallelism, len(doms), func(di int) (domResult, error) {
+				al, st, err := children[di].AllocateCapped(inputs[di], capped)
+				return domResult{allocs: al, stats: st}, err
+			})
+			if err != nil {
+				return nil, Stats{}, err
+			}
+		}
+	}
+
+	// Merge positionally back into input order (the CheckAllocations
+	// contract) and aggregate stats.
+	out := make([]Allocation, len(apps))
+	stats := Stats{Apps: len(apps), Source: SourceSharded}
+	for di, d := range doms {
+		r := results[di]
+		for j, i := range d.idx {
+			out[i] = r.allocs[j]
+		}
+		stats.Candidates += r.stats.Candidates
+		stats.LambdaIters += r.stats.LambdaIters
+		stats.CoAllocated += r.stats.CoAllocated
+		stats.Pinned += r.stats.Pinned
+		stats.Resolved += r.stats.Resolved
+	}
+	return out, stats, nil
+}
+
+// Allocate is AllocateWithStats without the statistics.
+func (s *Sharded) Allocate(apps []AppInput) ([]Allocation, error) {
+	out, _, err := s.AllocateWithStats(apps)
+	return out, err
+}
+
+// Domains reports how many child allocators exist (distinct domain masks
+// seen so far) — observability for tests and harpctl.
+func (s *Sharded) Domains() int { return len(s.children) }
+
+func lowestKind(mask uint64) int {
+	for k := 0; k < 64; k++ {
+		if mask&(1<<uint(k)) != 0 {
+			return k
+		}
+	}
+	return 0
+}

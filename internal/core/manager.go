@@ -165,6 +165,33 @@ type Config struct {
 	// fewer iterations but are not guaranteed bit-identical to cold solves,
 	// so this is opt-in. Ignored when Allocator is set.
 	AllocWarmStart bool
+	// Coalesce batches the epochs mutating operations trigger: instead of one
+	// solve per Register/Deregister/UploadTable/PhaseChange, a pending epoch
+	// is enqueued and flushed by the adaptation tick (Manager.Tick) or at the
+	// dirty-event bound. The zero value preserves solve-per-event behaviour.
+	// See coalesce.go.
+	Coalesce CoalescePolicy
+	// ShardedAlloc replaces the default allocator with an alloc.Sharded that
+	// partitions sessions into kind-footprint domains and solves them in
+	// parallel. Ignored when Allocator is set. The sharded allocator does not
+	// support the deadline probe or cache export (those hooks assume a single
+	// solver), so EpochBudget's early-cutoff rung and snapshot cache seeding
+	// are inactive with it.
+	ShardedAlloc bool
+	// ShardParallelism bounds the sharded allocator's worker count
+	// (<= 0 = one per CPU). Ignored unless ShardedAlloc.
+	ShardParallelism int
+	// PowerCapW, when > 0, arms the sharded allocator's power-budget
+	// coordinator: when the summed chosen-point power exceeds the cap, every
+	// domain is re-solved once against proportionally scaled capacities.
+	// Ignored unless ShardedAlloc.
+	PowerCapW float64
+	// AllocIncremental enables the default allocator's incremental re-solve
+	// path: unchanged sessions stay pinned at their standing allocations and
+	// only the changed set re-optimises against the residual capacity.
+	// Opt-in for the same reason as AllocWarmStart — results are not
+	// guaranteed bit-identical to cold solves. Ignored when Allocator is set.
+	AllocIncremental bool
 	// EpochBudget is the per-solve deadline for the degradation ladder:
 	// the default allocator's subgradient loop cuts off early when the
 	// budget is exceeded, and a solve that cannot produce a result at all
@@ -212,9 +239,23 @@ type Manager struct {
 	allocator Allocator
 	sessions  map[string]*session
 	explorers map[string]*explore.Explorer // per application name; persists across sessions
+	// order preserves registration order for deterministic solves. Removal
+	// tombstones the slot ("" entries, skipped by every iterator) and
+	// compacts when half the slice is dead, so a deregistration storm is
+	// amortised O(1) per event instead of the old O(N) scan. orderIdx maps
+	// instance -> live slot; orderDead counts tombstones.
 	order     []string
+	orderIdx  map[string]int
+	orderDead int
 	seq       int
 	onDecide  []func(Decision)
+
+	// Coalescing state (coalesce.go): one pending epoch batching the
+	// mutating events since the last solve.
+	pendingEpoch   bool
+	pendingTrigger string
+	pendingEvents  int
+	pendingTicks   int
 	// ended remembers instances that deregistered, so a re-registration of
 	// the same instance can be counted as a session resumption.
 	ended map[string]struct{}
@@ -277,12 +318,25 @@ func NewManager(cfg Config) (*Manager, error) {
 			cacheSize = alloc.DefaultCacheSize
 		}
 		var err error
-		allocator, err = alloc.New(cfg.Platform,
-			alloc.WithTracer(cfg.Tracer),
-			alloc.WithMetrics(cfg.Metrics),
-			alloc.WithCache(cacheSize),
-			alloc.WithWarmStart(cfg.AllocWarmStart),
-		)
+		if cfg.ShardedAlloc {
+			// Children share the metrics bundle (its instruments are atomic)
+			// but not the tracer: parallel children would interleave ring
+			// events nondeterministically.
+			allocator, err = alloc.NewSharded(cfg.Platform, cfg.ShardParallelism, cfg.PowerCapW,
+				alloc.WithMetrics(cfg.Metrics),
+				alloc.WithCache(cacheSize),
+				alloc.WithWarmStart(cfg.AllocWarmStart),
+				alloc.WithIncremental(cfg.AllocIncremental),
+			)
+		} else {
+			allocator, err = alloc.New(cfg.Platform,
+				alloc.WithTracer(cfg.Tracer),
+				alloc.WithMetrics(cfg.Metrics),
+				alloc.WithCache(cacheSize),
+				alloc.WithWarmStart(cfg.AllocWarmStart),
+				alloc.WithIncremental(cfg.AllocIncremental),
+			)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -312,7 +366,9 @@ func NewManager(cfg Config) (*Manager, error) {
 		fallback:  fallback,
 		sessions:  make(map[string]*session),
 		explorers: make(map[string]*explore.Explorer),
-		ended:     make(map[string]struct{}),
+		ended:      make(map[string]struct{}),
+		priorPhase: make(map[string]string),
+		orderIdx:   make(map[string]int),
 	}
 	if cfg.LatencyClock != nil && cfg.EpochBudget > 0 {
 		if da, ok := allocator.(interface{ SetOverBudget(func() bool) }); ok {
@@ -372,14 +428,20 @@ func (m *Manager) Register(instance, app string, adaptivity workload.Adaptivity,
 		ownUtility: ownUtility,
 		explorer:   m.explorerFor(app),
 	}
-	if phase, ok := m.priorPhase[instance]; ok {
+	// Stash the restart-continuity state the registration consumes so a
+	// failed solve can restore it: without the stash, a failed registration
+	// followed by a successful retry loses the resumed phase and the
+	// reconnect count.
+	priorPhase, hadPrior := m.priorPhase[instance]
+	_, wasEnded := m.ended[instance]
+	if hadPrior {
 		// The instance existed before an RM restart; resume its announced
 		// phase so the journal and status views stay continuous.
-		s.phase = phase
+		s.phase = priorPhase
 		delete(m.priorPhase, instance)
 	}
 	m.sessions[instance] = s
-	m.order = append(m.order, instance)
+	m.orderAdd(instance)
 	m.cfg.Tracer.Emit(telemetry.Event{
 		Kind:     telemetry.EvSessionRegistered,
 		Instance: instance,
@@ -390,29 +452,41 @@ func (m *Manager) Register(instance, app string, adaptivity workload.Adaptivity,
 		mt.Sessions.Set(float64(len(m.sessions)))
 		s.utilGauge = mt.SessionUtility.With(instance)
 		s.powerGauge = mt.SessionPower.With(instance)
-		if _, resumed := m.ended[instance]; resumed {
-			mt.Reconnects.Inc()
-		}
 	}
 	delete(m.ended, instance)
 	m.updateLiveGauge()
-	if err := m.reallocate("register"); err != nil {
+	rerr := m.epochAfter("register")
+	if rerr != nil && !m.cfg.Coalesce.Enabled {
 		// Roll the half-registered session back out: the caller reports the
 		// failure to the client, and a ghost session would keep joining
 		// future solves with nobody listening for its decisions. The journal
-		// has already recorded the error epoch.
+		// has already recorded the error epoch. (With coalescing the session
+		// stays — a flush failure covers many sessions, and evicting the one
+		// that tripped the dirty bound would be arbitrary; see coalesce.go.)
 		delete(m.sessions, instance)
-		for i, id := range m.order {
-			if id == instance {
-				m.order = append(m.order[:i], m.order[i+1:]...)
-				break
-			}
-		}
+		m.orderRemove(instance)
 		if mt := m.cfg.Metrics; mt != nil {
 			mt.Sessions.Set(float64(len(m.sessions)))
+			// Release the per-instance label series cached on the session
+			// above — without this every rejected registration leaks a gauge
+			// pair and metric cardinality grows forever.
+			mt.SessionUtility.Delete(instance)
+			mt.SessionPower.Delete(instance)
+		}
+		// Restore the consumed continuity state for the retry.
+		if hadPrior {
+			m.priorPhase[instance] = priorPhase
+		}
+		if wasEnded {
+			m.ended[instance] = struct{}{}
 		}
 		m.updateLiveGauge()
-		return err
+		return rerr
+	}
+	// Counted only once the registration sticks — a rolled-back attempt is
+	// not a resumption.
+	if mt := m.cfg.Metrics; mt != nil && wasEnded {
+		mt.Reconnects.Inc()
 	}
 	m.appendRecord(store.Record{
 		Kind:       store.RecRegister,
@@ -422,7 +496,38 @@ func (m *Manager) Register(instance, app string, adaptivity workload.Adaptivity,
 		OwnUtility: s.ownUtility,
 		Phase:      s.phase,
 	})
-	return nil
+	return rerr
+}
+
+// orderAdd appends an instance to the deterministic solve order.
+func (m *Manager) orderAdd(instance string) {
+	m.orderIdx[instance] = len(m.order)
+	m.order = append(m.order, instance)
+}
+
+// orderRemove tombstones the instance's slot in O(1) and compacts the slice
+// once half of it is dead, keeping removal amortised O(1) per event.
+func (m *Manager) orderRemove(instance string) {
+	idx, ok := m.orderIdx[instance]
+	if !ok {
+		return
+	}
+	delete(m.orderIdx, instance)
+	m.order[idx] = ""
+	m.orderDead++
+	if m.orderDead*2 < len(m.order) {
+		return
+	}
+	live := m.order[:0]
+	for _, id := range m.order {
+		if id == "" {
+			continue
+		}
+		m.orderIdx[id] = len(live)
+		live = append(live, id)
+	}
+	m.order = live
+	m.orderDead = 0
 }
 
 // UploadTable merges operating points supplied by the application itself
@@ -439,7 +544,7 @@ func (m *Manager) UploadTable(instance string, t *opoint.Table) error {
 		return err
 	}
 	s.explorer.SeedTable(t)
-	rerr := m.reallocate("table-upload")
+	rerr := m.epochAfter("table-upload")
 	m.appendRecord(store.Record{Kind: store.RecTable, Instance: instance, App: s.app, Table: t})
 	return rerr
 }
@@ -469,12 +574,7 @@ func (m *Manager) deregister(instance, trigger string, kind telemetry.EventKind)
 	delete(m.sessions, instance)
 	m.ended[instance] = struct{}{}
 	m.cfg.Energy.EndSession(instance)
-	for i, id := range m.order {
-		if id == instance {
-			m.order = append(m.order[:i], m.order[i+1:]...)
-			break
-		}
-	}
+	m.orderRemove(instance)
 	m.cfg.Tracer.Emit(telemetry.Event{
 		Kind:     kind,
 		Instance: instance,
@@ -493,7 +593,7 @@ func (m *Manager) deregister(instance, trigger string, kind telemetry.EventKind)
 		m.appendRecord(store.Record{Kind: store.RecDeregister, Instance: instance, App: s.app})
 		return nil
 	}
-	rerr := m.reallocate(trigger)
+	rerr := m.epochAfter(trigger)
 	m.appendRecord(store.Record{Kind: store.RecDeregister, Instance: instance, App: s.app})
 	return rerr
 }
@@ -544,9 +644,9 @@ func (m *Manager) SetLiveness(instance string, l Liveness, reason string) error 
 		// when the session resumes.
 		s.explorer.Abort()
 		s.stableMeasurements = 0
-		return m.reallocate("quarantine")
+		return m.epochAfter("quarantine")
 	case old == LivenessQuarantined:
-		return m.reallocate("readmit")
+		return m.epochAfter("readmit")
 	}
 	return nil
 }
@@ -694,7 +794,7 @@ func (m *Manager) PhaseChange(instance, phase string) error {
 		App:      s.app,
 		Stage:    phase,
 	})
-	rerr := m.reallocate("phase-change")
+	rerr := m.epochAfter("phase-change")
 	m.appendRecord(store.Record{Kind: store.RecPhase, Instance: instance, App: s.app, Phase: phase})
 	return rerr
 }
@@ -709,7 +809,11 @@ func (m *Manager) Reallocate() error {
 // reallocate is Reallocate with the trigger label for the decision journal
 // and trace events.
 func (m *Manager) reallocate(trigger string) error {
-	if len(m.order) == 0 {
+	// Any full solve satisfies a queued coalesced epoch — absorb it so an
+	// inline trigger (cadence, graduation, manual) never leaves a stale
+	// pending flush behind.
+	m.absorbPending()
+	if len(m.sessions) == 0 {
 		return nil
 	}
 	var t0 time.Duration
@@ -724,8 +828,11 @@ func (m *Manager) reallocate(trigger string) error {
 	// Quarantined sessions are excluded from the solve: their cores shrink
 	// to zero (a parked decision) and the survivors absorb the capacity.
 	snap := m.cfg.Tracer.BeginPhase(telemetry.PhaseSnapshot, m.snapshotHist)
-	inputs := make([]alloc.AppInput, 0, len(m.order))
+	inputs := make([]alloc.AppInput, 0, len(m.sessions))
 	for _, id := range m.order {
+		if id == "" {
+			continue // tombstoned order slot (orderRemove)
+		}
 		s := m.sessions[id]
 		if s.liveness == LivenessQuarantined {
 			continue
@@ -789,6 +896,9 @@ func (m *Manager) reallocate(trigger string) error {
 	// Count exploring sessions to split the free cores evenly (§5.3).
 	var exploring []*session
 	for _, id := range m.order {
+		if id == "" {
+			continue
+		}
 		s := m.sessions[id]
 		if s.liveness == LivenessQuarantined {
 			continue
@@ -800,6 +910,9 @@ func (m *Manager) reallocate(trigger string) error {
 	}
 
 	for _, id := range m.order {
+		if id == "" {
+			continue
+		}
 		s := m.sessions[id]
 		if s.liveness == LivenessQuarantined {
 			s.explorer.Abort()
@@ -1125,6 +1238,9 @@ func (m *Manager) recordEpochWith(trigger string, lambdaIters int, source, errMs
 	}
 	var budget float64
 	for _, id := range m.order {
+		if id == "" {
+			continue
+		}
 		if s := m.sessions[id]; s.last != nil {
 			budget += s.last.PredictedPowerW
 		}
@@ -1149,6 +1265,9 @@ func (m *Manager) recordEpochWith(trigger string, lambdaIters int, source, errMs
 			rec.BudgetHeadroomW = budget - tot.PowerW
 		}
 		for _, id := range m.order {
+			if id == "" {
+				continue
+			}
 			s := m.sessions[id]
 			rec.Inputs = append(rec.Inputs, telemetry.EpochInput{
 				Instance: s.instance,
@@ -1330,6 +1449,20 @@ func sameDecision(a, b Decision) bool {
 		len(a.Grants) != len(b.Grants) {
 		return false
 	}
+	// Fast path: the allocator assigns cores deterministically, so an
+	// unchanged decision usually repeats the grant list element for element.
+	// Only a positional mismatch pays for the clone+sort order-insensitive
+	// compare — at churn scale, push runs once per session per epoch.
+	same := true
+	for i := range a.Grants {
+		if a.Grants[i] != b.Grants[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		return true
+	}
 	ag := append([]alloc.CoreGrant(nil), a.Grants...)
 	bg := append([]alloc.CoreGrant(nil), b.Grants...)
 	sortGrants(ag)
@@ -1386,8 +1519,11 @@ func (m *Manager) AllStable() bool {
 // Sessions returns summaries of all registered sessions in registration
 // order.
 func (m *Manager) Sessions() []SessionInfo {
-	out := make([]SessionInfo, 0, len(m.order))
+	out := make([]SessionInfo, 0, len(m.sessions))
 	for _, id := range m.order {
+		if id == "" {
+			continue
+		}
 		s := m.sessions[id]
 		stage := s.explorer.Stage()
 		if m.cfg.DisableExploration {

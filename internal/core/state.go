@@ -46,6 +46,9 @@ func (m *Manager) ExportState() *store.State {
 		st.Tables[app] = e.Table().Clone()
 	}
 	for _, id := range m.order {
+		if id == "" {
+			continue // tombstoned order slot (orderRemove)
+		}
 		s := m.sessions[id]
 		st.Sessions = append(st.Sessions, store.SessionState{
 			Instance:   s.instance,

@@ -12,6 +12,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/harp-rm/harp/internal/platform"
 )
@@ -65,6 +66,8 @@ type Table struct {
 
 	// mu guards the memoised derived state below.
 	mu sync.Mutex
+	// id is the table's process-unique identity, assigned lazily by ID().
+	id uint64
 	// version counts mutations; derived caches are keyed on it.
 	version uint64
 	// front is the cached runtime Pareto front; frontLen detects direct
@@ -107,6 +110,27 @@ func (t *Table) Version() uint64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.version
+}
+
+// tableIDs hands out process-unique table identities; see ID.
+var tableIDs atomic.Uint64
+
+// ID returns a process-unique identity for the table, assigned on first
+// call. Derived caches outside the table (the allocator's fingerprint memo,
+// the sharded allocator's footprint memo) key on it instead of the pointer:
+// a *Table key can be poisoned when a freed table's address is reused by a
+// new table at the same version — clones in particular all restart at
+// version 0, so under session churn (predicted tables being rebuilt and
+// dropped every epoch) a pointer key validated only by version may serve a
+// stale entry for a different table. Identities are never reused, so an ID
+// hit is always the same table. Clones do not inherit the ID.
+func (t *Table) ID() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.id == 0 {
+		t.id = tableIDs.Add(1)
+	}
+	return t.id
 }
 
 // Validate checks the table against a platform description. A clean result

@@ -646,6 +646,10 @@ type Metrics struct {
 	// EpochFailures counts epochs whose primary solve failed or blew its
 	// deadline budget — every degraded epoch and every hard allocator error.
 	EpochFailures *Counter
+	// EpochsCoalesced counts mutating events whose epoch was deferred into a
+	// shared coalesced solve instead of triggering its own (events minus
+	// solves; see internal/core coalesce.go).
+	EpochsCoalesced *Counter
 	// StoreRetries counts transient durable-state write errors absorbed by
 	// the store's retry/backoff path.
 	StoreRetries *Counter
@@ -695,8 +699,9 @@ func NewMetrics(r *Registry) *Metrics {
 		TracerDropped:        r.Counter("harp_tracer_dropped_total", "Events evicted from the tracer ring."),
 		JournalErrors:        r.Counter("harp_journal_errors_total", "Journal records lost to write errors."),
 
-		EpochDegraded: r.CounterVec("harp_epoch_degraded_total", "Epochs resolved by a degradation-ladder rung.", "rung"),
-		EpochFailures: r.Counter("harp_epoch_failures_total", "Epochs whose primary solve failed or exceeded its deadline budget."),
-		StoreRetries:  r.Counter("harp_store_retries_total", "Transient durable-state write errors absorbed by retry."),
+		EpochDegraded:   r.CounterVec("harp_epoch_degraded_total", "Epochs resolved by a degradation-ladder rung.", "rung"),
+		EpochFailures:   r.Counter("harp_epoch_failures_total", "Epochs whose primary solve failed or exceeded its deadline budget."),
+		EpochsCoalesced: r.Counter("harp_epochs_coalesced_total", "Mutating events whose epoch was deferred into a shared coalesced solve."),
+		StoreRetries:    r.Counter("harp_store_retries_total", "Transient durable-state write errors absorbed by retry."),
 	}
 }
