@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race bench bench-alloc bench-parallel trace-demo fuzz-smoke invariants invariants-long lint-metrics soak
+.PHONY: build test check race bench bench-alloc bench-parallel trace-demo fuzz-smoke invariants invariants-long lint-metrics soak cluster-chaos cluster-chaos-long
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,21 @@ invariants-long:
 # (virtual clock).
 soak:
 	HARP_SOAK=1 $(GO) test -race -count=1 -v -run 'TestOverload' ./harpsim/
+
+# cluster-chaos runs the fleet failover suites (see RESILIENCE.md, "Fleet
+# failover and session migration") under the race detector: machine kills,
+# coordinator kills, kill-during-migration, per-tick fleet invariants and
+# byte-identical same-seed journals. CI runs this on every push.
+cluster-chaos:
+	$(GO) test -race -count=1 ./internal/cluster/
+	$(GO) test -race -count=1 -run 'TestCluster|TestCheckFleet|TestReconnectFollowsAddressProvider' \
+		./harpsim/ ./internal/check/ ./harp/
+
+# cluster-chaos-long is the nightly multi-seed sweep: 10 seeds of combined
+# machine-kill + coordinator-kill chaos with journals written to
+# HARP_CLUSTER_JOURNAL_DIR (uploaded as CI artifacts on failure).
+cluster-chaos-long:
+	HARP_CLUSTER_LONG=1 $(GO) test -race -count=1 -v -run 'TestClusterMultiSeedSweep' ./harpsim/
 
 # fuzz-smoke briefly runs each wire-protocol and durable-state fuzzer —
 # enough to catch framing regressions on every push without a dedicated

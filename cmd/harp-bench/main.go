@@ -27,6 +27,7 @@ import (
 	"github.com/harp-rm/harp/harpsim"
 	"github.com/harp-rm/harp/internal/alloc"
 	"github.com/harp-rm/harp/internal/core"
+	"github.com/harp-rm/harp/internal/faultsim"
 	"github.com/harp-rm/harp/internal/opoint"
 	"github.com/harp-rm/harp/internal/platform"
 	"github.com/harp-rm/harp/internal/workload"
@@ -72,6 +73,11 @@ type Report struct {
 	// adaptation-tick budget, plus a smaller solve-per-event baseline for the
 	// epochs-vs-events comparison.
 	Churn *ChurnReport `json:"churn,omitempty"`
+
+	// Cluster is the fleet benchmark (harpsim.RunCluster): a faulted
+	// coordinated fleet against static partitioning of the same budget,
+	// with the budget, re-home and energy contracts enforced by -enforce.
+	Cluster *ClusterReport `json:"cluster,omitempty"`
 }
 
 // ChurnReport is the churn section of BENCH_alloc.json.
@@ -93,6 +99,27 @@ type ChurnReport struct {
 	BaselineEvents   int     `json:"baseline_events"`
 	BaselineEpochs   int     `json:"baseline_epochs"`
 	BaselineP99Ms    float64 `json:"baseline_p99_ms"`
+}
+
+// ClusterReport is the fleet section of BENCH_alloc.json. The dynamic run
+// carries a machine kill and a coordinator kill; the static run is the
+// same churn stream under per-machine partitioning.
+type ClusterReport struct {
+	Machines     int     `json:"machines"`
+	Sessions     int     `json:"sessions"`
+	Ticks        int     `json:"ticks"`
+	FleetBudgetW float64 `json:"fleet_budget_w"`
+
+	EnergyDynamicJ float64 `json:"energy_dynamic_j"`
+	EnergyStaticJ  float64 `json:"energy_static_j"`
+	EnergySavedPct float64 `json:"energy_saved_pct"`
+
+	MaxFleetPowerW  float64 `json:"max_fleet_power_w"`
+	Migrations      int     `json:"migrations"`
+	MachineDeaths   int     `json:"machine_deaths"`
+	Failovers       int     `json:"failovers"`
+	MaxUnownedTicks int     `json:"max_unowned_ticks"`
+	FinalUnowned    int     `json:"final_unowned"`
 }
 
 func main() {
@@ -160,6 +187,9 @@ func run(args []string, out io.Writer) error {
 	if rep.Churn, err = measureChurn(); err != nil {
 		return err
 	}
+	if rep.Cluster, err = measureCluster(); err != nil {
+		return err
+	}
 
 	raw, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -203,6 +233,23 @@ func checkContracts(rep *Report) error {
 		}
 		if c.Verified == 0 {
 			errs = append(errs, "no churn epochs were oracle-verified")
+		}
+	}
+	if cl := rep.Cluster; cl != nil {
+		if cl.MaxFleetPowerW > cl.FleetBudgetW+1e-6 {
+			errs = append(errs, fmt.Sprintf("fleet power peaked at %.1f W over the %.1f W budget", cl.MaxFleetPowerW, cl.FleetBudgetW))
+		}
+		if cl.EnergyDynamicJ >= cl.EnergyStaticJ {
+			errs = append(errs, fmt.Sprintf("coordinated fleet energy %.1f J >= static partitioning %.1f J", cl.EnergyDynamicJ, cl.EnergyStaticJ))
+		}
+		if cl.MaxUnownedTicks > 10 {
+			errs = append(errs, fmt.Sprintf("re-home after a kill took %d ticks, contract is <= 10", cl.MaxUnownedTicks))
+		}
+		if cl.FinalUnowned != 0 {
+			errs = append(errs, fmt.Sprintf("%d sessions still unowned after the chaos run", cl.FinalUnowned))
+		}
+		if cl.MachineDeaths == 0 || cl.Failovers == 0 {
+			errs = append(errs, "cluster benchmark injected no effective faults")
 		}
 	}
 	if len(errs) == 0 {
@@ -416,6 +463,66 @@ func measureChurn() (*ChurnReport, error) {
 		BaselineEpochs:   base.Epochs,
 		BaselineP99Ms:    ms(base.P99),
 	}, nil
+}
+
+// measureCluster runs the fleet benchmark: one faulted coordinated run
+// (machine kill at ¼, coordinator kill at ½) and one static-partitioning
+// run over the same seed, both invariant-checked every tick.
+func measureCluster() (*ClusterReport, error) {
+	const (
+		machines = 4
+		sessions = 5
+		ticks    = 600
+		budgetW  = 60.0
+	)
+	opts := harpsim.ClusterOptions{
+		Machines:     machines,
+		Sessions:     sessions,
+		Ticks:        ticks,
+		Seed:         1,
+		FleetBudgetW: budgetW,
+		Verify:       true,
+		Plan: &faultsim.Plan{Seed: 1, Faults: []faultsim.Fault{
+			{At: harpsim.ClusterTick(ticks / 4), Target: "m1", Kind: faultsim.KindMachineKill},
+			{At: harpsim.ClusterTick(ticks / 2), Target: faultsim.CoordinatorTarget, Kind: faultsim.KindCoordKill},
+		}},
+	}
+	dyn, err := harpsim.RunCluster(opts)
+	if err != nil {
+		return nil, err
+	}
+	stOpts := opts
+	stOpts.Static = true
+	stOpts.Plan = nil // the baseline measures partitioning, not fault response
+	st, err := harpsim.RunCluster(stOpts)
+	if err != nil {
+		return nil, err
+	}
+	rep := &ClusterReport{
+		Machines:        machines,
+		Sessions:        sessions,
+		Ticks:           ticks,
+		FleetBudgetW:    budgetW,
+		EnergyDynamicJ:  dyn.EnergyJ,
+		EnergyStaticJ:   st.EnergyJ,
+		MaxFleetPowerW:  maxFloat(dyn.MaxFleetPowerW, st.MaxFleetPowerW),
+		Migrations:      dyn.Stats.Migrations,
+		MachineDeaths:   dyn.Stats.MachineDeaths,
+		Failovers:       dyn.Stats.Failovers,
+		MaxUnownedTicks: dyn.MaxUnownedTicks,
+		FinalUnowned:    dyn.FinalUnowned,
+	}
+	if st.EnergyJ > 0 {
+		rep.EnergySavedPct = 100 * (1 - dyn.EnergyJ/st.EnergyJ)
+	}
+	return rep, nil
+}
+
+func maxFloat(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 func regimeOf(res testing.BenchmarkResult, iters int) Regime {

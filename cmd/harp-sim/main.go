@@ -9,7 +9,11 @@
 //	harp-sim list
 //
 // Experiments: fig1, fig5, fig6, fig7, fig8, governor, overhead,
-// attribution, alloc-ablation, explore-ablation, all.
+// attribution, alloc-ablation, explore-ablation, fig-cluster, all.
+//
+// fig-cluster is the fleet extension: coordinated bin-packing with drain
+// consolidation versus static per-machine partitioning of one shared
+// energy budget, with a faulted arm (machine kill + coordinator failover).
 package main
 
 import (
@@ -261,6 +265,7 @@ func runExperiment(args []string, out io.Writer) error {
 		{"attribution", func() error { r, err := experiments.Attribution(cfg); return format(r, err) }},
 		{"alloc-ablation", func() error { r, err := experiments.AllocAblation(cfg); return format(r, err) }},
 		{"explore-ablation", func() error { r, err := experiments.ExploreAblation(cfg); return format(r, err) }},
+		{"fig-cluster", func() error { r, err := experiments.FigCluster(cfg); return format(r, err) }},
 	}
 	want := fs.Arg(0)
 	if want == "all" {

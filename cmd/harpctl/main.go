@@ -6,12 +6,13 @@
 // Usage:
 //
 //	harpctl [-control /tmp/harpctl.sock] sessions
-//	harpctl [-control /tmp/harpctl.sock] status
+//	harpctl [-control /tmp/harpctl.sock] status [-json]
 //	harpctl [-control /tmp/harpctl.sock] health [-exit-code]
 //	harpctl [-control /tmp/harpctl.sock] top [-interval 2s] [-n 0]
 //	harpctl [-control /tmp/harpctl.sock] table <instance>
 //	harpctl [-control /tmp/harpctl.sock] trace tail [n]
 //	harpctl [-control /tmp/harpctl.sock] trace dump
+//	harpctl fleet [-json] <control-socket>...
 //
 // `health` prints the daemon's self-assessment (the same report harpd
 // serves at /healthz) and exits non-zero when the daemon is unhealthy.
@@ -19,6 +20,12 @@
 // probes: 0 ok, 1 degraded, 2 unhealthy.
 // `top` refreshes a per-session energy/efficiency view every -interval
 // (-n bounds the number of frames; 0 runs until interrupted).
+// `status -json` emits a versioned machine-readable document with a
+// stable field set, for monitoring pipelines that must survive harpctl
+// upgrades.
+// `fleet` queries several machines' control sockets and renders one row
+// per machine — the operator's cross-fleet view; unreachable machines get
+// a down row instead of failing the whole command.
 package main
 
 import (
@@ -33,7 +40,7 @@ import (
 	"time"
 )
 
-const usage = "usage: harpctl [-control PATH] sessions | status | health [-exit-code] | top [-interval D] [-n N] | table <instance> | trace tail [n] | trace dump"
+const usage = "usage: harpctl [-control PATH] sessions | status [-json] | health [-exit-code] | top [-interval D] [-n N] | table <instance> | trace tail [n] | trace dump | fleet [-json] <socket>..."
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -70,8 +77,18 @@ func run(args []string, out io.Writer) error {
 	switch rest[0] {
 	case "sessions":
 	case "status":
+		sfs := flag.NewFlagSet("harpctl status", flag.ContinueOnError)
+		asJSON := sfs.Bool("json", false, "emit a machine-readable status document with a stable field set")
+		if err := sfs.Parse(rest[1:]); err != nil {
+			return err
+		}
 		req["op"] = "sessions"
 		render = renderStatus
+		if *asJSON {
+			render = renderStatusJSON
+		}
+	case "fleet":
+		return runFleet(rest[1:], out)
 	case "health":
 		hfs := flag.NewFlagSet("harpctl health", flag.ContinueOnError)
 		exitCode := hfs.Bool("exit-code", false, "map the health grade to the exit status: 0 ok, 1 degraded, 2 unhealthy")

@@ -37,6 +37,13 @@ type ReconnectConfig struct {
 	// Seed drives the jitter for reproducible backoff sequences in tests
 	// (0 seeds from the clock).
 	Seed int64
+	// AddressProvider, when set, is consulted before every reconnect
+	// attempt and may return a new RM socket path to dial — the fleet
+	// redirect hook: after a session migration or coordinator failover the
+	// provider (typically backed by a cluster control endpoint) points the
+	// client at its new machine. An empty return keeps the current path.
+	// Nil preserves the classic fixed-address behaviour exactly.
+	AddressProvider func() string
 }
 
 func (rc ReconnectConfig) withDefaults() ReconnectConfig {
@@ -94,8 +101,7 @@ var ErrRegistrationRejected = errors.New("harp: registration rejected")
 
 // Client is a libharp session with the resource manager.
 type Client struct {
-	socketPath string
-	reg        Registration
+	reg Registration
 
 	writeMu sync.Mutex
 
@@ -103,6 +109,7 @@ type Client struct {
 	onUtility  func() float64
 
 	mu         sync.Mutex
+	socketPath string // current RM address; AddressProvider may move it
 	conn       net.Conn
 	session    string
 	activation *Activation
@@ -152,9 +159,13 @@ func Dial(socketPath string, reg Registration) (*Client, error) {
 	return c, nil
 }
 
-// handshake dials the socket and performs the registration exchange.
+// handshake dials the current socket path and performs the registration
+// exchange.
 func (c *Client) handshake() (net.Conn, string, error) {
-	conn, err := net.Dial("unix", c.socketPath)
+	c.mu.Lock()
+	path := c.socketPath
+	c.mu.Unlock()
+	conn, err := net.Dial("unix", path)
 	if err != nil {
 		return nil, "", fmt.Errorf("harp: dial RM: %w", err)
 	}
@@ -341,6 +352,16 @@ func (c *Client) resume() error {
 	backoff := rc.InitialBackoff
 	var lastErr error
 	for attempt := 0; rc.MaxAttempts == 0 || attempt < rc.MaxAttempts; attempt++ {
+		// Ask the address provider where the session lives now — a fleet
+		// may have migrated it or failed the coordinator over since the
+		// connection broke.
+		if rc.AddressProvider != nil {
+			if addr := rc.AddressProvider(); addr != "" {
+				c.mu.Lock()
+				c.socketPath = addr
+				c.mu.Unlock()
+			}
+		}
 		delay := backoff
 		if rc.Jitter > 0 {
 			f := 1 + rc.Jitter*(2*rng.Float64()-1)

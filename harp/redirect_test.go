@@ -1,0 +1,159 @@
+package harp
+
+import (
+	"bytes"
+	"net"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/harp-rm/harp/internal/platform"
+	"github.com/harp-rm/harp/internal/workload"
+)
+
+// TestReconnectFollowsAddressProvider proves the fleet redirect hook: when
+// the RM a client is attached to goes away for good, the reconnect loop
+// consults ReconnectConfig.AddressProvider and resumes the session —
+// re-register, table re-upload, phase replay — against the machine the
+// provider names.
+func TestReconnectFollowsAddressProvider(t *testing.T) {
+	plat := platform.RaptorLake()
+	newServer := func(name string) (*Server, string, func()) {
+		srv, err := NewServer(ServerConfig{Platform: plat, DisableExploration: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sock := filepath.Join(t.TempDir(), name+".sock")
+		errc := make(chan error, 1)
+		go func() { errc <- srv.ListenAndServe(sock) }()
+		waitSocket(t, sock)
+		return srv, sock, func() {
+			if err := srv.Close(); err != nil {
+				t.Errorf("%s close: %v", name, err)
+			}
+			if err := <-errc; err != nil {
+				t.Errorf("%s serve: %v", name, err)
+			}
+		}
+	}
+
+	_, sockA, stopA := newServer("a")
+	srvB, sockB, stopB := newServer("b")
+	defer stopB()
+
+	var redirects atomic.Int64
+	client, err := Dial(sockA, Registration{
+		App:        "mg.C",
+		PID:        77,
+		Adaptivity: Scalable,
+		Reconnect: ReconnectConfig{
+			Enabled:        true,
+			InitialBackoff: 5 * time.Millisecond,
+			MaxBackoff:     50 * time.Millisecond,
+			Seed:           7,
+			AddressProvider: func() string {
+				redirects.Add(1)
+				return sockB
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	prof, err := workload.ByName(workload.IntelApps(), "mg.C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.UploadDescription(bytes.NewReader(offlineDescription(t, plat, prof))); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.NotifyPhase("steady"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Machine A dies for good; the provider must carry the session to B.
+	stopA()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if ss := srvB.Sessions(); len(ss) == 1 && ss[0].Phase == "steady" {
+			break
+		}
+		select {
+		case <-client.Done():
+			t.Fatalf("client gave up instead of following redirect: %v", client.Err())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("session never resumed on B: %+v", srvB.Sessions())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if redirects.Load() == 0 {
+		t.Error("address provider never consulted")
+	}
+	// The replayed table must be live on B, not just the registration.
+	tbl, err := srvB.TableSnapshot("mg.C/77")
+	if err != nil {
+		t.Fatalf("table not replayed to B: %v", err)
+	}
+	if tbl.MeasuredCount() == 0 {
+		t.Error("replayed table has no measured points")
+	}
+}
+
+// TestReconnectZeroValueProviderKeepsAddress pins the compatibility
+// contract: with no AddressProvider, reconnect behaviour is unchanged —
+// the client re-dials the address it was born with.
+func TestReconnectZeroValueProviderKeepsAddress(t *testing.T) {
+	if (ReconnectConfig{Enabled: true}).withDefaults().AddressProvider != nil {
+		t.Fatal("withDefaults invented an address provider")
+	}
+	sock := filepath.Join(t.TempDir(), "gone.sock")
+	ln, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ServerConfig{Platform: platform.RaptorLake(), DisableExploration: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	waitSocket(t, sock)
+
+	client, err := Dial(sock, Registration{
+		App: "pin", PID: 5, Adaptivity: Static,
+		Reconnect: ReconnectConfig{
+			Enabled:        true,
+			InitialBackoff: 5 * time.Millisecond,
+			MaxBackoff:     20 * time.Millisecond,
+			MaxAttempts:    4,
+			Seed:           3,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+
+	// The socket is gone and stays gone: attempts must exhaust against the
+	// original address, and the client must terminate with the dial error.
+	select {
+	case <-client.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("client never gave up on the dead address")
+	}
+	if client.Err() == nil {
+		t.Fatal("exhausted reconnect reported no error")
+	}
+}

@@ -1,0 +1,115 @@
+package check
+
+// Fleet-level invariants. The cluster coordinator enforces the fleet energy
+// budget by worst-case admission control: a session's demand is the maximum
+// power over its table's usable points, so the sum of admitted demands on a
+// machine bounds anything its local solver can choose. CheckFleet verifies
+// the resulting global properties from the outside on a point-in-time view
+// of the fleet — the cluster chaos suites call it every virtual-clock tick,
+// including mid-migration.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// powerEps absorbs float accumulation noise when comparing summed watts
+// against caps and budgets.
+const powerEps = 1e-6
+
+// FleetMachine is one machine's slice of a FleetView.
+type FleetMachine struct {
+	// ID names the machine (e.g. "m0").
+	ID string
+	// Alive is false once the coordinator declared the machine dead.
+	Alive bool
+	// CapW is the per-machine power cap distributed by the coordinator.
+	CapW float64
+	// Sessions are the instances the machine's local manager owns.
+	Sessions []string
+	// AdmittedW is the coordinator's worst-case demand sum for the machine.
+	AdmittedW float64
+	// StandingPowerW is the local manager's actual standing predicted
+	// power (core.Manager.StandingPowerW).
+	StandingPowerW float64
+}
+
+// FleetView is a point-in-time snapshot of the fleet handed to CheckFleet.
+type FleetView struct {
+	// BudgetW is the fleet-wide energy budget in watts.
+	BudgetW float64
+	// Machines holds every machine the coordinator knows, dead or alive.
+	Machines []FleetMachine
+}
+
+// CheckFleet verifies the fleet placement invariants:
+//
+//  1. no session is owned by two machines (double placement),
+//  2. dead machines own no sessions,
+//  3. each machine's admitted worst-case demand and its actual standing
+//     power both respect its cap,
+//  4. the alive machines' caps sum to at most the fleet budget — so by
+//     transitivity total fleet power never exceeds the budget, even
+//     mid-migration.
+//
+// A zero BudgetW disables the budget checks (3 sum side and 4); per-machine
+// checks still run when CapW > 0.
+func CheckFleet(v FleetView) error {
+	owner := make(map[string]string)
+	ids := make(map[string]bool, len(v.Machines))
+	aliveCap := 0.0
+	for i := range v.Machines {
+		m := &v.Machines[i]
+		if m.ID == "" {
+			return fmt.Errorf("check: fleet machine %d has no ID", i)
+		}
+		if ids[m.ID] {
+			return fmt.Errorf("check: duplicate machine ID %q", m.ID)
+		}
+		ids[m.ID] = true
+		if !m.Alive && len(m.Sessions) > 0 {
+			return fmt.Errorf("check: dead machine %q owns %d sessions %v", m.ID, len(m.Sessions), m.Sessions)
+		}
+		for _, inst := range m.Sessions {
+			if prev, dup := owner[inst]; dup {
+				return fmt.Errorf("check: session %q double-placed on %q and %q", inst, prev, m.ID)
+			}
+			owner[inst] = m.ID
+		}
+		if m.CapW > 0 {
+			if m.AdmittedW > m.CapW+powerEps {
+				return fmt.Errorf("check: machine %q admitted %.3f W over its %.3f W cap", m.ID, m.AdmittedW, m.CapW)
+			}
+			if m.StandingPowerW > m.CapW+powerEps {
+				return fmt.Errorf("check: machine %q standing power %.3f W over its %.3f W cap", m.ID, m.StandingPowerW, m.CapW)
+			}
+		}
+		if m.Alive {
+			aliveCap += m.CapW
+		}
+	}
+	if v.BudgetW > 0 && aliveCap > v.BudgetW+powerEps {
+		return fmt.Errorf("check: alive machine caps sum to %.3f W, over the %.3f W fleet budget", aliveCap, v.BudgetW)
+	}
+	return nil
+}
+
+// Orphans returns, sorted, the instances in want that no machine in the
+// view owns — the sessions the coordinator still has to re-home. Chaos
+// suites use it to bound re-homing latency in ticks.
+func Orphans(v FleetView, want []string) []string {
+	owned := make(map[string]bool)
+	for i := range v.Machines {
+		for _, inst := range v.Machines[i].Sessions {
+			owned[inst] = true
+		}
+	}
+	var out []string
+	for _, inst := range want {
+		if !owned[inst] {
+			out = append(out, inst)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,39 @@
+package cluster
+
+// The cluster transition journal: one JSON line per coordinator
+// transition (placements, rejections, migration phases, kills, deaths,
+// failovers, shipments, exits). Field order is fixed by the struct, every
+// producer iterates sorted state, and timestamps are virtual ticks — so
+// same-seed runs write byte-identical journals, the property the chaos
+// suites assert. Write errors are sticky and surfaced via JournalErr, like
+// the decision journal's error contract.
+
+import "encoding/json"
+
+// journalRec is one cluster journal line.
+type journalRec struct {
+	Tick     uint64  `json:"tick"`
+	Ev       string  `json:"ev"`
+	Instance string  `json:"instance,omitempty"`
+	Machine  string  `json:"machine,omitempty"`
+	From     string  `json:"from,omitempty"`
+	To       string  `json:"to,omitempty"`
+	DemandW  float64 `json:"demand_w,omitempty"`
+	N        int     `json:"n,omitempty"`
+	Orphans  int     `json:"orphans,omitempty"`
+}
+
+func (f *Fleet) journal(rec journalRec) {
+	if f.jw == nil || f.jerr != nil {
+		return
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		f.jerr = err
+		return
+	}
+	b = append(b, '\n')
+	if _, err := f.jw.Write(b); err != nil {
+		f.jerr = err
+	}
+}

@@ -1555,6 +1555,23 @@ func (m *Manager) Sessions() []SessionInfo {
 	return out
 }
 
+// StandingPowerW sums the predicted power of every session's standing
+// decision — the same quantity the epoch recorder reports as the budget
+// numerator. The fleet coordinator reads it per machine to grade actual
+// load against the distributed per-machine power cap.
+func (m *Manager) StandingPowerW() float64 {
+	total := 0.0
+	for _, id := range m.order {
+		if id == "" {
+			continue
+		}
+		if s := m.sessions[id]; s.last != nil {
+			total += s.last.PredictedPowerW
+		}
+	}
+	return total
+}
+
 // Table returns a snapshot of a session's learned operating points —
 // harpctl uses this, and Fig. 8 snapshots it every 5 s.
 func (m *Manager) Table(instance string) (*opoint.Table, error) {

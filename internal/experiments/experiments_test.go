@@ -310,3 +310,36 @@ func TestExploreAblationShapes(t *testing.T) {
 		t.Error("Format output incomplete")
 	}
 }
+
+// TestFigClusterShapes checks the fleet-energy comparison's headline
+// claims on a quick run: the coordinated fleet consumes less energy and
+// fewer active machine-ticks than static partitioning, and no arm — not
+// even the faulted one — ever exceeds the shared budget.
+func TestFigClusterShapes(t *testing.T) {
+	res, err := FigCluster(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, dy := res.Cells["static"], res.Cells["dynamic"]
+	if dy.EnergyJ >= st.EnergyJ {
+		t.Errorf("dynamic energy %.1fJ >= static %.1fJ — consolidation won nothing", dy.EnergyJ, st.EnergyJ)
+	}
+	if dy.ActiveMachineTicks >= st.ActiveMachineTicks {
+		t.Errorf("dynamic active machine-ticks %.1f >= static %.1f", dy.ActiveMachineTicks, st.ActiveMachineTicks)
+	}
+	for arm, c := range res.Cells {
+		if c.MaxFleetPowerW > res.BudgetW+1e-6 {
+			t.Errorf("%s: peak fleet power %.1fW exceeds the %.1fW budget", arm, c.MaxFleetPowerW, res.BudgetW)
+		}
+	}
+	if res.Cells["dynamic-faults"].Migrations == 0 {
+		t.Error("faulted arm recorded no migrations — the kill never forced a re-home")
+	}
+	var buf bytes.Buffer
+	res.Format(&buf)
+	for _, want := range []string{"fleet energy", "static", "dynamic-faults", "budget held"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("Format output missing %q:\n%s", want, buf.String())
+		}
+	}
+}

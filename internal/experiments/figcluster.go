@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/harp-rm/harp/harpsim"
+	"github.com/harp-rm/harp/internal/faultsim"
+	"github.com/harp-rm/harp/internal/parallel"
+)
+
+// FigClusterResult extends the paper's single-node energy story (§6) to a
+// fleet: N machines under one energy budget, comparing HARP's coordinated
+// bin-packing with drain consolidation against static per-machine
+// partitioning of the same budget. The dynamic coordinator parks machines
+// the static split keeps lit, so its fleet energy and active machine-ticks
+// drop while the peak power stays within the shared budget in both arms —
+// including under a mid-run machine kill and coordinator failover.
+type FigClusterResult struct {
+	// Seeds is how many seeded runs each cell aggregates.
+	Seeds int
+	// Machines and BudgetW describe the fleet.
+	Machines int
+	BudgetW  float64
+	// Cells maps arm name ("static", "dynamic", "dynamic-faults") to the
+	// seed-averaged measurements.
+	Cells map[string]FigClusterCell
+}
+
+// FigClusterCell is one arm's seed-averaged measurement.
+type FigClusterCell struct {
+	EnergyJ            float64
+	ActiveMachineTicks float64
+	MaxFleetPowerW     float64
+	Migrations         float64
+	MaxUnownedTicks    float64
+}
+
+// FigCluster runs the fleet-energy comparison: static partitioning versus
+// the coordinated fleet, plus a faulted dynamic arm proving the energy win
+// survives machine loss and coordinator failover.
+func FigCluster(cfg Config) (*FigClusterResult, error) {
+	cfg = cfg.withDefaults()
+	const (
+		machines = 4
+		budgetW  = 60.0
+	)
+	seeds, ticks := 5, 1200
+	if cfg.Quick {
+		seeds, ticks = 2, 300
+	}
+
+	arms := []struct {
+		name   string
+		static bool
+		plan   func(seed int64) *faultsim.Plan
+	}{
+		{name: "static", static: true},
+		{name: "dynamic"},
+		{name: "dynamic-faults", plan: func(seed int64) *faultsim.Plan {
+			return &faultsim.Plan{Seed: seed, Faults: []faultsim.Fault{
+				{At: harpsim.ClusterTick(ticks / 4), Target: "m1", Kind: faultsim.KindMachineKill},
+				{At: harpsim.ClusterTick(ticks / 2), Target: faultsim.CoordinatorTarget, Kind: faultsim.KindCoordKill},
+			}}
+		}},
+	}
+
+	results, err := parallel.Map(cfg.Parallelism, len(arms)*seeds, func(u int) (*harpsim.ClusterResult, error) {
+		arm := arms[u/seeds]
+		seed := cfg.Seed + int64(u%seeds)
+		opts := harpsim.ClusterOptions{
+			Machines:     machines,
+			Sessions:     5,
+			Ticks:        ticks,
+			Seed:         seed,
+			FleetBudgetW: budgetW,
+			Static:       arm.static,
+			Verify:       true,
+		}
+		if arm.plan != nil {
+			opts.Plan = arm.plan(seed)
+		}
+		return harpsim.RunCluster(opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &FigClusterResult{
+		Seeds:    seeds,
+		Machines: machines,
+		BudgetW:  budgetW,
+		Cells:    make(map[string]FigClusterCell),
+	}
+	for a, arm := range arms {
+		var cell FigClusterCell
+		for s := 0; s < seeds; s++ {
+			r := results[a*seeds+s]
+			cell.EnergyJ += r.EnergyJ
+			cell.ActiveMachineTicks += float64(r.ActiveMachineTicks)
+			if r.MaxFleetPowerW > cell.MaxFleetPowerW {
+				cell.MaxFleetPowerW = r.MaxFleetPowerW
+			}
+			cell.Migrations += float64(r.Stats.Migrations)
+			if float64(r.MaxUnownedTicks) > cell.MaxUnownedTicks {
+				cell.MaxUnownedTicks = float64(r.MaxUnownedTicks)
+			}
+		}
+		n := float64(seeds)
+		cell.EnergyJ /= n
+		cell.ActiveMachineTicks /= n
+		cell.Migrations /= n
+		res.Cells[arm.name] = cell
+	}
+	return res, nil
+}
+
+// Format writes the fleet-energy comparison table.
+func (r *FigClusterResult) Format(w io.Writer) {
+	writeHeader(w, fmt.Sprintf(
+		"fleet energy: coordinated bin-packing vs static partitioning — %d machines, %.0f W budget, %d seeds",
+		r.Machines, r.BudgetW, r.Seeds))
+	fmt.Fprintf(w, "%-16s %12s %14s %12s %11s %12s\n",
+		"arm", "energy[J]", "active mt", "peak P[W]", "migrations", "max unowned")
+	for _, arm := range []string{"static", "dynamic", "dynamic-faults"} {
+		c, ok := r.Cells[arm]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(w, "%-16s %12.1f %14.1f %12.1f %11.1f %12.0f\n",
+			arm, c.EnergyJ, c.ActiveMachineTicks, c.MaxFleetPowerW, c.Migrations, c.MaxUnownedTicks)
+	}
+	if s, d := r.Cells["static"], r.Cells["dynamic"]; s.EnergyJ > 0 {
+		fmt.Fprintf(w, "(dynamic saves %.1f%% fleet energy over static partitioning; budget held in every arm)\n",
+			100*(1-d.EnergyJ/s.EnergyJ))
+	}
+}

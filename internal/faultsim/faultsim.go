@@ -55,17 +55,42 @@ const (
 	// retry/backoff path and, when retries exhaust, durability-degraded
 	// mode.
 	KindStoreIO Kind = "store-io"
+	// KindMachineKill permanently kills one fleet machine (target is the
+	// machine ID, e.g. "m2"): its local manager stops, its heartbeats
+	// cease, and the cluster coordinator must re-home every session it
+	// owned. Cluster harnesses only.
+	KindMachineKill Kind = "machine-kill"
+	// KindCoordKill permanently kills the active fleet coordinator (target
+	// must be CoordinatorTarget): the standby promotes itself from the
+	// last shipped cluster snapshot and reconciles against the surviving
+	// machines. Cluster harnesses only.
+	KindCoordKill Kind = "coordinator-kill"
 )
 
 // RMTarget is the Fault.Target naming the resource manager itself, the
 // victim of KindRMCrash.
 const RMTarget = "rm"
 
+// CoordinatorTarget is the Fault.Target naming the fleet coordinator, the
+// victim of KindCoordKill.
+const CoordinatorTarget = "coordinator"
+
 // Valid reports whether k is a known failure mode.
 func (k Kind) Valid() bool {
 	switch k {
 	case KindCrash, KindHang, KindDropout, KindSlowReader, KindDisconnect, KindDelayWrites,
-		KindRMCrash, KindSolverStall, KindStoreIO:
+		KindRMCrash, KindSolverStall, KindStoreIO, KindMachineKill, KindCoordKill:
+		return true
+	}
+	return false
+}
+
+// ClusterKind reports whether the kind targets fleet infrastructure — a
+// whole machine or the coordinator — rather than an application instance
+// or the single-node RM. Cluster kinds are permanent (not Timed).
+func (k Kind) ClusterKind() bool {
+	switch k {
+	case KindMachineKill, KindCoordKill:
 		return true
 	}
 	return false
@@ -188,6 +213,9 @@ func (p *Plan) Validate() error {
 		}
 		if f.Kind.RMKind() && f.Target != RMTarget {
 			return fmt.Errorf("faultsim: fault %d: %s must target %q, got %q", i, f.Kind, RMTarget, f.Target)
+		}
+		if f.Kind == KindCoordKill && f.Target != CoordinatorTarget {
+			return fmt.Errorf("faultsim: fault %d: %s must target %q, got %q", i, f.Kind, CoordinatorTarget, f.Target)
 		}
 		if f.At < prev {
 			return fmt.Errorf("faultsim: fault %d: out of order (%v after %v)", i, f.At, prev)

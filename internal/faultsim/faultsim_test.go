@@ -85,6 +85,31 @@ func TestValidateRejectsBadPlans(t *testing.T) {
 	}
 }
 
+func TestClusterKinds(t *testing.T) {
+	for _, k := range []Kind{KindMachineKill, KindCoordKill} {
+		if !k.Valid() || !k.ClusterKind() {
+			t.Errorf("%s: Valid/ClusterKind should both hold", k)
+		}
+		if k.Timed() || k.RMKind() {
+			t.Errorf("%s: cluster kinds are permanent and not RM-targeted", k)
+		}
+	}
+	if KindCrash.ClusterKind() || KindRMCrash.ClusterKind() {
+		t.Error("non-cluster kinds reported as cluster kinds")
+	}
+	good := Plan{Faults: []Fault{
+		{At: time.Second, Target: "m1", Kind: KindMachineKill},
+		{At: 2 * time.Second, Target: CoordinatorTarget, Kind: KindCoordKill},
+	}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("cluster plan rejected: %v", err)
+	}
+	bad := Plan{Faults: []Fault{{At: time.Second, Target: "m1", Kind: KindCoordKill}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("coordinator-kill with a machine target accepted")
+	}
+}
+
 func TestCursorDelivery(t *testing.T) {
 	p := &Plan{Faults: []Fault{
 		{At: time.Second, Target: "a", Kind: KindCrash},

@@ -1,0 +1,103 @@
+package store
+
+// Cluster coordinator state codec. The fleet coordinator periodically ships
+// its placement registry to the standby as one self-describing blob; on
+// failover the standby decodes the last shipment and reconciles it against
+// the machines that are still alive. The framing mirrors the durable-state
+// snapshot (magic | version | length | JSON | CRC, big-endian) so the same
+// corruption taxonomy — short blob, bad magic, bad version, bad length, CRC
+// mismatch, bad JSON — maps onto the same ErrCorrupt sentinel.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+
+	"github.com/harp-rm/harp/internal/opoint"
+)
+
+// clusterMagic distinguishes coordinator shipments from RM snapshots; a
+// blob fed to the wrong decoder fails on the magic, not deep in the JSON.
+const clusterMagic = "HARPCLUS"
+
+// ClusterSession is everything the coordinator must remember to re-home a
+// session onto a fresh machine: the registration tuple plus the learned
+// table and last announced phase to replay (the PR 3 reconnect contract).
+type ClusterSession struct {
+	Instance   string        `json:"instance"`
+	App        string        `json:"app"`
+	Adaptivity string        `json:"adaptivity"`
+	OwnUtility bool          `json:"own_utility,omitempty"`
+	Phase      string        `json:"phase,omitempty"`
+	Machine    string        `json:"machine"`
+	DemandW    float64       `json:"demand_w"`
+	Table      *opoint.Table `json:"table,omitempty"`
+}
+
+// ClusterMachine is the coordinator's view of one fleet member.
+type ClusterMachine struct {
+	ID    string  `json:"id"`
+	CapW  float64 `json:"cap_w"`
+	Alive bool    `json:"alive"`
+}
+
+// ClusterState is the coordinator state shipped to the standby. Machines
+// and Sessions are kept sorted by the coordinator so encodings of the same
+// logical state are byte-identical (the chaos suites compare journals and
+// shipments across same-seed runs).
+type ClusterState struct {
+	Epoch        uint64           `json:"epoch"`
+	Tick         uint64           `json:"tick"`
+	FleetBudgetW float64          `json:"fleet_budget_w"`
+	Machines     []ClusterMachine `json:"machines"`
+	Sessions     []ClusterSession `json:"sessions"`
+}
+
+// EncodeClusterState renders the shipment bytes for the coordinator state.
+func EncodeClusterState(cs *ClusterState) ([]byte, error) {
+	payload, err := json.Marshal(cs)
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) > MaxPayload {
+		return nil, fmt.Errorf("cluster state payload %d bytes exceeds limit", len(payload))
+	}
+	out := make([]byte, 0, len(clusterMagic)+12+len(payload))
+	out = append(out, clusterMagic...)
+	out = binary.BigEndian.AppendUint32(out, Version)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(payload)))
+	out = append(out, payload...)
+	out = binary.BigEndian.AppendUint32(out, crc32.ChecksumIEEE(payload))
+	return out, nil
+}
+
+// DecodeClusterState parses shipment bytes. Any structural defect returns
+// an error wrapping ErrCorrupt, like DecodeSnapshot.
+func DecodeClusterState(raw []byte) (*ClusterState, error) {
+	hdrLen := len(clusterMagic) + 8
+	if len(raw) < hdrLen+4 {
+		return nil, fmt.Errorf("%w: cluster state too short (%d bytes)", ErrCorrupt, len(raw))
+	}
+	if string(raw[:len(clusterMagic)]) != clusterMagic {
+		return nil, fmt.Errorf("%w: bad cluster state magic", ErrCorrupt)
+	}
+	ver := binary.BigEndian.Uint32(raw[len(clusterMagic):])
+	if ver != Version {
+		return nil, fmt.Errorf("%w: unsupported cluster state version %d", ErrCorrupt, ver)
+	}
+	n := binary.BigEndian.Uint32(raw[len(clusterMagic)+4:])
+	if n > MaxPayload || int64(n) != int64(len(raw)-hdrLen-4) {
+		return nil, fmt.Errorf("%w: cluster state length %d does not match blob", ErrCorrupt, n)
+	}
+	payload := raw[hdrLen : hdrLen+int(n)]
+	want := binary.BigEndian.Uint32(raw[hdrLen+int(n):])
+	if crc32.ChecksumIEEE(payload) != want {
+		return nil, fmt.Errorf("%w: cluster state CRC mismatch", ErrCorrupt)
+	}
+	cs := &ClusterState{}
+	if err := json.Unmarshal(payload, cs); err != nil {
+		return nil, fmt.Errorf("%w: cluster state payload: %v", ErrCorrupt, err)
+	}
+	return cs, nil
+}

@@ -1,0 +1,96 @@
+package store
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/harp-rm/harp/internal/opoint"
+)
+
+func clusterFixture(t *testing.T) *ClusterState {
+	t.Helper()
+	p1 := pt(t, 120, 14, 2)
+	return &ClusterState{
+		Epoch:        7,
+		Tick:         41,
+		FleetBudgetW: 300,
+		Machines: []ClusterMachine{
+			{ID: "m0", CapW: 150, Alive: true},
+			{ID: "m1", CapW: 150, Alive: false},
+		},
+		Sessions: []ClusterSession{
+			{
+				Instance:   "mg/1",
+				App:        "mg",
+				Adaptivity: "scalable",
+				Phase:      "solve",
+				Machine:    "m0",
+				DemandW:    14,
+				Table:      &opoint.Table{App: "mg", Points: []opoint.OperatingPoint{p1}},
+			},
+			{Instance: "ep/2", App: "ep", Adaptivity: "static", Machine: "m0", DemandW: 9},
+		},
+	}
+}
+
+func TestClusterStateRoundTrip(t *testing.T) {
+	cs := clusterFixture(t)
+	raw, err := EncodeClusterState(cs)
+	if err != nil {
+		t.Fatalf("EncodeClusterState: %v", err)
+	}
+	got, err := DecodeClusterState(raw)
+	if err != nil {
+		t.Fatalf("DecodeClusterState: %v", err)
+	}
+	if got.Epoch != 7 || got.Tick != 41 || got.FleetBudgetW != 300 {
+		t.Fatalf("header fields = %+v", got)
+	}
+	if len(got.Machines) != 2 || got.Machines[1].Alive || got.Machines[0].CapW != 150 {
+		t.Fatalf("machines = %+v", got.Machines)
+	}
+	if len(got.Sessions) != 2 || got.Sessions[0].Machine != "m0" || got.Sessions[0].Phase != "solve" {
+		t.Fatalf("sessions = %+v", got.Sessions)
+	}
+	if got.Sessions[0].Table == nil || got.Sessions[0].Table.MeasuredCount() != 1 {
+		t.Fatalf("session table did not survive the round trip: %+v", got.Sessions[0].Table)
+	}
+	if got.Sessions[1].Table != nil {
+		t.Fatalf("tableless session grew a table: %+v", got.Sessions[1].Table)
+	}
+	// Same logical state must encode to the same bytes (the standby compares
+	// shipments across same-seed runs).
+	raw2, err := EncodeClusterState(cs)
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if string(raw) != string(raw2) {
+		t.Fatalf("encoding is not deterministic")
+	}
+}
+
+func TestClusterStateRejectsCorruption(t *testing.T) {
+	raw, err := EncodeClusterState(clusterFixture(t))
+	if err != nil {
+		t.Fatalf("EncodeClusterState: %v", err)
+	}
+	for name, mangle := range map[string]func([]byte) []byte{
+		"short":       func(b []byte) []byte { return b[:8] },
+		"bad-magic":   func(b []byte) []byte { b[0] ^= 0xff; return b },
+		"bad-version": func(b []byte) []byte { b[len(clusterMagic)+3] ^= 0xff; return b },
+		"bad-length":  func(b []byte) []byte { b[len(clusterMagic)+7] ^= 0x01; return b },
+		"bit-flip":    func(b []byte) []byte { b[len(clusterMagic)+20] ^= 0x10; return b },
+		"truncated":   func(b []byte) []byte { return b[:len(b)-5] },
+		"snapshot-magic-mismatch": func(b []byte) []byte {
+			copy(b, snapshotMagic)
+			return b
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			cp := append([]byte(nil), raw...)
+			if _, err := DecodeClusterState(mangle(cp)); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("want ErrCorrupt, got %v", err)
+			}
+		})
+	}
+}

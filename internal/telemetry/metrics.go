@@ -653,6 +653,25 @@ type Metrics struct {
 	// StoreRetries counts transient durable-state write errors absorbed by
 	// the store's retry/backoff path.
 	StoreRetries *Counter
+
+	// ClusterMachinesAlive gauges fleet machines currently alive (only set
+	// when this process runs a cluster coordinator).
+	ClusterMachinesAlive *Gauge
+	// ClusterPlacements counts sessions placed onto a machine by the fleet
+	// coordinator, first placements and migration re-adds alike.
+	ClusterPlacements *Counter
+	// ClusterPlacementsRejected counts placements refused by worst-case
+	// admission control (no machine had power headroom).
+	ClusterPlacementsRejected *Counter
+	// ClusterMigrations counts completed session migrations between
+	// machines (hot-machine rebalance or dying-machine drain).
+	ClusterMigrations *Counter
+	// ClusterMachineDeaths counts machines declared dead after missed
+	// heartbeats.
+	ClusterMachineDeaths *Counter
+	// ClusterFailovers counts standby-coordinator promotions after the
+	// primary died.
+	ClusterFailovers *Counter
 }
 
 // NewMetrics creates the standard instrument bundle on the registry.
@@ -703,5 +722,12 @@ func NewMetrics(r *Registry) *Metrics {
 		EpochFailures:   r.Counter("harp_epoch_failures_total", "Epochs whose primary solve failed or exceeded its deadline budget."),
 		EpochsCoalesced: r.Counter("harp_epochs_coalesced_total", "Mutating events whose epoch was deferred into a shared coalesced solve."),
 		StoreRetries:    r.Counter("harp_store_retries_total", "Transient durable-state write errors absorbed by retry."),
+
+		ClusterMachinesAlive:      r.Gauge("harp_cluster_machines_alive", "Fleet machines currently alive."),
+		ClusterPlacements:         r.Counter("harp_cluster_placements_total", "Sessions placed onto a machine by the fleet coordinator."),
+		ClusterPlacementsRejected: r.Counter("harp_cluster_placements_rejected_total", "Placements refused by worst-case admission control."),
+		ClusterMigrations:         r.Counter("harp_cluster_migrations_total", "Completed session migrations between machines."),
+		ClusterMachineDeaths:      r.Counter("harp_cluster_machine_deaths_total", "Machines declared dead after missed heartbeats."),
+		ClusterFailovers:          r.Counter("harp_cluster_failovers_total", "Standby coordinator promotions after primary death."),
 	}
 }

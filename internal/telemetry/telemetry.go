@@ -95,6 +95,20 @@ const (
 	// and entered durability-degraded mode (Stage = "degraded"), or a later
 	// successful write healed it (Stage = "healed").
 	EvStoreDegraded
+	// EvClusterPlaced: the fleet coordinator placed a session onto a
+	// machine (Stage = machine ID, Power = admitted worst-case demand W).
+	EvClusterPlaced
+	// EvClusterMigrated: a session finished migrating between machines
+	// (Stage = "src→dst"; the remove half of the move was journalled when
+	// the migration started).
+	EvClusterMigrated
+	// EvClusterMachineDead: the coordinator declared a machine dead after
+	// missed heartbeats (Stage = machine ID, Vals[0] = orphaned sessions).
+	EvClusterMachineDead
+	// EvClusterFailover: the standby coordinator promoted itself after the
+	// primary died (Vals[0] = sessions recovered from the shipped snapshot,
+	// Vals[1] = orphans queued for re-homing).
+	EvClusterFailover
 )
 
 // String implements fmt.Stringer.
@@ -144,6 +158,14 @@ func (k EventKind) String() string {
 		return "session-panicked"
 	case EvStoreDegraded:
 		return "store-degraded"
+	case EvClusterPlaced:
+		return "cluster-placed"
+	case EvClusterMigrated:
+		return "cluster-migrated"
+	case EvClusterMachineDead:
+		return "cluster-machine-dead"
+	case EvClusterFailover:
+		return "cluster-failover"
 	default:
 		return "event(?)"
 	}
